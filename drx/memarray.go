@@ -1,0 +1,107 @@
+package drx
+
+import (
+	"fmt"
+
+	"drxmp/internal/core"
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+)
+
+// MemArray is a memory-resident extendible array: the same axial-vector
+// mapping applied at element granularity to a growable in-memory buffer.
+// The paper's serial DRX supports memory arrays "maintained as either
+// conventional arrays or memory resident extendible arrays"; MemArray is
+// the latter. Extending never moves existing elements within the buffer
+// (the buffer itself may be reallocated, but element offsets are
+// stable), so interior pointers-by-index remain valid across growth.
+type MemArray struct {
+	dt    dtype.T
+	space *core.Space
+	data  []byte
+}
+
+// NewMemArray allocates a memory-resident extendible array with the
+// given initial element bounds.
+func NewMemArray(dt DType, bounds []int) (*MemArray, error) {
+	if !dt.Valid() {
+		return nil, fmt.Errorf("drx: invalid dtype %v", dt)
+	}
+	s, err := core.NewSpace(bounds)
+	if err != nil {
+		return nil, err
+	}
+	return &MemArray{
+		dt:    dt,
+		space: s,
+		data:  make([]byte, s.Total()*int64(dt.Size())),
+	}, nil
+}
+
+// Rank returns the number of dimensions.
+func (m *MemArray) Rank() int { return m.space.Rank() }
+
+// Bounds returns the current element bounds.
+func (m *MemArray) Bounds() []int { return m.space.Bounds() }
+
+// Elems returns the number of allocated elements.
+func (m *MemArray) Elems() int64 { return m.space.Total() }
+
+// DType returns the element type.
+func (m *MemArray) DType() DType { return m.dt }
+
+// Extend grows dimension dim by `by` element indices. Offsets of
+// existing elements are unchanged.
+func (m *MemArray) Extend(dim, by int) error {
+	if err := m.space.Extend(dim, by); err != nil {
+		return err
+	}
+	need := m.space.Total() * int64(m.dt.Size())
+	if need > int64(len(m.data)) {
+		grown := make([]byte, need)
+		copy(grown, m.data)
+		m.data = grown
+	}
+	return nil
+}
+
+// At returns the element at idx as float64.
+func (m *MemArray) At(idx []int) (float64, error) {
+	q, err := m.space.Map(idx)
+	if err != nil {
+		return 0, err
+	}
+	return dtype.Float64At(m.dt, m.data[q*int64(m.dt.Size()):]), nil
+}
+
+// Set stores v at idx.
+func (m *MemArray) Set(idx []int, v float64) error {
+	q, err := m.space.Map(idx)
+	if err != nil {
+		return err
+	}
+	dtype.PutFloat64(m.dt, m.data[q*int64(m.dt.Size()):], v)
+	return nil
+}
+
+// Offset returns the stable linear element offset of idx (F* at element
+// granularity) — exposed so tests can assert the no-move property.
+func (m *MemArray) Offset(idx []int) (int64, error) { return m.space.Map(idx) }
+
+// ToDense copies the array into a dense buffer of the given order
+// (a conventional array snapshot).
+func (m *MemArray) ToDense(order Order) []float64 {
+	bounds := grid.Shape(m.space.Bounds())
+	out := make([]float64, bounds.Volume())
+	strides := grid.Strides(bounds, order)
+	grid.BoxOf(bounds).Iterate(grid.RowMajor, func(idx []int) bool {
+		var off int64
+		for d, i := range idx {
+			off += int64(i) * strides[d]
+		}
+		q := m.space.MustMap(idx)
+		out[off] = dtype.Float64At(m.dt, m.data[q*int64(m.dt.Size()):])
+		return true
+	})
+	return out
+}

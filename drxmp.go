@@ -1,0 +1,613 @@
+// Package drxmp is the Disk Resident Extendible Array library for
+// multi-processing — the paper's DRX-MP.
+//
+// A principal array is stored out-of-core in a (simulated) parallel file
+// system as fixed-shape chunks whose linear addresses come from the
+// axial-vector mapping function F* (internal/core). The array can be
+// extended along any dimension, by any process group, without
+// reorganizing previously written chunks. Parallel programs (package
+// internal/cluster provides the SPMD runtime standing in for MPI) open
+// the array collectively; the metadata — the axial vectors — is
+// replicated in every process, so any process computes the address of
+// any chunk and the owner of any element without communication.
+//
+// Sub-arrays are read/written either independently or collectively
+// (two-phase I/O via internal/mpiio), into memory laid out in C or
+// Fortran order regardless of the on-disk chunk order. The Distribute
+// method materializes the Global-Array-style processing model: each
+// process holds its zone in memory and any process can Get/Put/
+// Accumulate any element via one-sided access (internal/rma).
+//
+// The serial counterpart is package drx.
+package drxmp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+
+	"drxmp/internal/cluster"
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+	"drxmp/internal/meta"
+	"drxmp/internal/mpiio"
+	"drxmp/internal/pfs"
+	"drxmp/internal/zone"
+)
+
+// Re-exported element types and orders (see package drx for the serial
+// library's identical aliases).
+type (
+	// DType is an element data type.
+	DType = dtype.T
+	// Order is a memory layout order.
+	Order = grid.Order
+	// Box is a half-open sub-array region.
+	Box = grid.Box
+)
+
+// Element types and orders.
+const (
+	Int32      = dtype.Int32
+	Int64      = dtype.Int64
+	Float32    = dtype.Float32
+	Float64    = dtype.Float64
+	Complex64  = dtype.Complex64
+	Complex128 = dtype.Complex128
+
+	RowMajor = grid.RowMajor
+	ColMajor = grid.ColMajor
+)
+
+// NewBox builds a half-open box [lo, hi).
+func NewBox(lo, hi []int) Box { return grid.NewBox(lo, hi) }
+
+// Options configures Create.
+type Options struct {
+	// DType is the element type (required).
+	DType DType
+	// ChunkShape is the chunk shape in elements (required).
+	ChunkShape []int
+	// Bounds is the initial element bounds (required).
+	Bounds []int
+	// Order is the within-chunk element order (default RowMajor).
+	Order Order
+	// FS configures the backing parallel file system (zero value: one
+	// in-memory server).
+	FS pfs.Options
+	// Decomp selects the zone decomposition (default BLOCK).
+	Decomp zone.Kind
+	// CyclicBlock is the BLOCK_CYCLIC(k) block size (default 1).
+	CyclicBlock int
+}
+
+// File is one process's handle on a shared extendible array file. All
+// processes of the communicator hold a replica of the metadata; methods
+// marked collective must be called by every process.
+type File struct {
+	comm *cluster.Comm
+	m    *meta.Meta
+	fs   *pfs.FS
+	io   *mpiio.File
+	path string
+
+	kind        zone.Kind
+	cyclicBlock int
+	diskBacked  bool
+
+	decomp *zone.Decomp // cached; invalidated by extensions
+}
+
+var fsSeq atomic.Int64
+
+// shareFS publishes rank 0's FS so all ranks address the same store
+// (in a real deployment this is the shared PVFS2 volume).
+func shareFS(c *cluster.Comm, mk func() (*pfs.FS, error)) (*pfs.FS, error) {
+	var key string
+	var mkErr error
+	if c.Rank() == 0 {
+		fs, err := mk()
+		if err != nil {
+			mkErr = err
+			key = ""
+		} else {
+			key = fmt.Sprintf("drxmp/fs/%d", fsSeq.Add(1))
+			c.World().SharedPut(key, fs)
+		}
+	}
+	kb, err := c.Bcast(0, []byte(key))
+	if err != nil {
+		return nil, err
+	}
+	if len(kb) == 0 {
+		if mkErr != nil {
+			return nil, mkErr
+		}
+		return nil, errors.New("drxmp: file system creation failed on rank 0")
+	}
+	v, ok := c.World().SharedGet(string(kb))
+	if !ok {
+		return nil, errors.New("drxmp: shared file system missing")
+	}
+	return v.(*pfs.FS), nil
+}
+
+// Create collectively creates a new extendible array (DRXMP_Init of the
+// paper). Every rank must pass identical options.
+func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
+	if opts.Order != RowMajor && opts.Order != ColMajor {
+		return nil, fmt.Errorf("drxmp: invalid order %v", opts.Order)
+	}
+	if opts.CyclicBlock <= 0 {
+		opts.CyclicBlock = 1
+	}
+	// Rank 0 builds the metadata; everyone receives the encoded replica
+	// (identical construction everywhere would also work — the paper
+	// replicates the metadata, which we model faithfully).
+	var blob []byte
+	var mkErr error
+	if c.Rank() == 0 {
+		m, err := meta.New(opts.DType, opts.Order, opts.ChunkShape, opts.Bounds)
+		if err != nil {
+			mkErr = err
+		} else {
+			blob = m.Encode()
+		}
+	}
+	blob, err := c.Bcast(0, blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) == 0 {
+		if mkErr != nil {
+			return nil, mkErr
+		}
+		return nil, errors.New("drxmp: metadata creation failed on rank 0")
+	}
+	m, err := meta.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	fsOpts := opts.FS
+	if fsOpts.Backend == pfs.Disk && fsOpts.Dir == "" {
+		fsOpts.Dir = filepath.Dir(path)
+	}
+	fs, err := shareFS(c, func() (*pfs.FS, error) {
+		return pfs.Create(filepath.Base(path)+".xta", fsOpts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	f := &File{
+		comm:        c,
+		m:           m,
+		fs:          fs,
+		io:          mpiio.Open(c, fs),
+		path:        path,
+		kind:        opts.Decomp,
+		cyclicBlock: opts.CyclicBlock,
+		diskBacked:  fsOpts.Backend == pfs.Disk,
+	}
+	if err := f.persistMeta(); err != nil {
+		return nil, err
+	}
+	return f, c.Barrier()
+}
+
+// Open collectively opens an existing disk-backed array (DRXMP_Open):
+// rank 0 reads the .xmd file and broadcasts it; every process installs
+// its replica.
+func Open(c *cluster.Comm, path string, fsOpts pfs.Options, kind zone.Kind, cyclicBlock int) (*File, error) {
+	var blob []byte
+	var rdErr error
+	if c.Rank() == 0 {
+		blob, rdErr = os.ReadFile(path + ".xmd")
+	}
+	blob, err := c.Bcast(0, blob)
+	if err != nil {
+		return nil, err
+	}
+	if len(blob) == 0 {
+		if rdErr != nil {
+			return nil, rdErr
+		}
+		return nil, fmt.Errorf("drxmp: empty metadata for %s", path)
+	}
+	m, err := meta.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	fsOpts.Backend = pfs.Disk
+	if fsOpts.Dir == "" {
+		fsOpts.Dir = filepath.Dir(path)
+	}
+	fs, err := shareFS(c, func() (*pfs.FS, error) {
+		return pfs.Open(filepath.Base(path)+".xta", fsOpts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cyclicBlock <= 0 {
+		cyclicBlock = 1
+	}
+	f := &File{
+		comm:        c,
+		m:           m,
+		fs:          fs,
+		io:          mpiio.Open(c, fs),
+		path:        path,
+		kind:        kind,
+		cyclicBlock: cyclicBlock,
+		diskBacked:  true,
+	}
+	return f, c.Barrier()
+}
+
+// Close collectively closes the array (DRXMP_Close). Rank 0 persists the
+// metadata and closes the shared store.
+func (f *File) Close() error {
+	if err := f.persistMeta(); err != nil {
+		return err
+	}
+	if err := f.comm.Barrier(); err != nil {
+		return err
+	}
+	if f.comm.Rank() == 0 {
+		return f.fs.Close()
+	}
+	return nil
+}
+
+func (f *File) persistMeta() error {
+	if !f.diskBacked || f.comm.Rank() != 0 {
+		return nil
+	}
+	return os.WriteFile(f.path+".xmd", f.m.Encode(), 0o644)
+}
+
+// --- metadata accessors ---
+
+// Comm returns the communicator the file was opened with.
+func (f *File) Comm() *cluster.Comm { return f.comm }
+
+// Rank returns the array dimensionality (not the process rank; use
+// Comm().Rank() for that).
+func (f *File) Rank() int { return f.m.Rank() }
+
+// Bounds returns the current element bounds.
+func (f *File) Bounds() []int { return f.m.ElemBounds.Clone() }
+
+// ChunkShape returns the chunk shape in elements.
+func (f *File) ChunkShape() []int { return f.m.ChunkShape.Clone() }
+
+// DType returns the element type.
+func (f *File) DType() DType { return f.m.DType }
+
+// Order returns the within-chunk element order.
+func (f *File) Order() Order { return f.m.MemOrder }
+
+// Chunks returns the number of allocated chunks.
+func (f *File) Chunks() int64 { return f.m.Space.Total() }
+
+// Meta exposes this process's metadata replica.
+func (f *File) Meta() *meta.Meta { return f.m }
+
+// FS exposes the shared backing store (statistics in benchmarks).
+func (f *File) FS() *pfs.FS { return f.fs }
+
+// IO exposes the MPI-IO style handle (to tune collective buffering).
+func (f *File) IO() *mpiio.File { return f.io }
+
+// Decomp returns the current zone decomposition of the chunk grid. It
+// is recomputed from the replicated metadata after extensions, so every
+// process always agrees.
+func (f *File) Decomp() (*zone.Decomp, error) {
+	if f.decomp != nil {
+		return f.decomp, nil
+	}
+	d, err := zone.New(f.kind, grid.Shape(f.m.Space.Bounds()), f.comm.Size(), f.cyclicBlock)
+	if err != nil {
+		return nil, err
+	}
+	f.decomp = d
+	return d, nil
+}
+
+// ZoneBoxes returns rank r's zone in element coordinates (chunk boxes
+// scaled by the chunk shape and clipped to the element bounds).
+func (f *File) ZoneBoxes(r int) ([]Box, error) {
+	d, err := f.Decomp()
+	if err != nil {
+		return nil, err
+	}
+	var out []Box
+	for _, cb := range d.ZoneOf(r) {
+		eb := Box{Lo: make([]int, f.Rank()), Hi: make([]int, f.Rank())}
+		for i := 0; i < f.Rank(); i++ {
+			eb.Lo[i] = cb.Lo[i] * f.m.ChunkShape[i]
+			eb.Hi[i] = cb.Hi[i] * f.m.ChunkShape[i]
+			if eb.Hi[i] > f.m.ElemBounds[i] {
+				eb.Hi[i] = f.m.ElemBounds[i]
+			}
+			if eb.Lo[i] > eb.Hi[i] {
+				eb.Lo[i] = eb.Hi[i]
+			}
+		}
+		if !eb.Empty() {
+			out = append(out, eb)
+		}
+	}
+	return out, nil
+}
+
+// MyZone returns the calling process's zone in element coordinates.
+func (f *File) MyZone() ([]Box, error) { return f.ZoneBoxes(f.comm.Rank()) }
+
+// OwnerOf returns the rank owning the element at idx.
+func (f *File) OwnerOf(idx []int) (int, error) {
+	d, err := f.Decomp()
+	if err != nil {
+		return 0, err
+	}
+	ci := make([]int, len(idx))
+	for i := range idx {
+		if idx[i] < 0 || idx[i] >= f.m.ElemBounds[i] {
+			return 0, fmt.Errorf("drxmp: index %v outside bounds %v", idx, f.m.ElemBounds)
+		}
+		ci[i] = idx[i] / f.m.ChunkShape[i]
+	}
+	return d.Owner(ci)
+}
+
+// --- extension ---
+
+// Extend collectively grows dimension dim by `by` elements
+// (the paper's Section IV-B parallel expansion). Every process applies
+// the identical extension to its metadata replica; no data moves.
+func (f *File) Extend(dim, by int) error {
+	if by < 1 {
+		return fmt.Errorf("drxmp: extend by %d", by)
+	}
+	if dim < 0 || dim >= f.Rank() {
+		return fmt.Errorf("drxmp: dimension %d out of range", dim)
+	}
+	if err := f.m.ExtendElems(dim, f.m.ElemBounds[dim]+by); err != nil {
+		return err
+	}
+	f.decomp = nil
+	if err := f.comm.Barrier(); err != nil {
+		return err
+	}
+	if f.comm.Rank() == 0 {
+		if err := f.fs.Truncate(f.m.FileBytes()); err != nil {
+			return err
+		}
+		if err := f.persistMeta(); err != nil {
+			return err
+		}
+	}
+	return f.comm.Barrier()
+}
+
+// --- section I/O ---
+
+// ioRun is one contiguous file extent of a section transfer plus its
+// placement in the user buffer: element e of the run lives at user
+// element offset DstStart + e*DstStride.
+type ioRun struct {
+	fileOff   int64
+	elems     int64
+	dstStart  int64
+	dstStride int64
+}
+
+// sectionRuns translates box ∩ chunks into file runs with user-buffer
+// placement, sorted by file offset. The caller's buffer is dense over
+// box in the given order.
+func (f *File) sectionRuns(box Box, order Order) ([]ioRun, error) {
+	if box.Rank() != f.Rank() {
+		return nil, fmt.Errorf("drxmp: box rank %d != array rank %d", box.Rank(), f.Rank())
+	}
+	if box.Empty() {
+		return nil, nil
+	}
+	if !grid.BoxOf(f.m.ElemBounds).ContainsBox(box) {
+		return nil, fmt.Errorf("drxmp: box %v outside bounds %v", box, f.m.ElemBounds)
+	}
+	es := int64(f.m.DType.Size())
+	boxShape := box.Shape()
+	dstStrides := grid.Strides(boxShape, order)
+	chunkStrides := grid.Strides(f.m.ChunkShape, f.m.MemOrder)
+	// The innermost storage dimension (varies within a chunk row).
+	inner := f.Rank() - 1
+	if f.m.MemOrder == ColMajor {
+		inner = 0
+	}
+
+	var runs []ioRun
+	var outerErr error
+	cover := grid.ChunkCover(box, f.m.ChunkShape)
+	cover.Iterate(grid.RowMajor, func(cidx []int) bool {
+		q, err := f.m.Space.Map(cidx)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		base := q * f.m.ChunkBytes()
+		cbox := grid.ChunkBox(cidx, f.m.ChunkShape)
+		ibox := cbox.Intersect(box)
+		if ibox.Empty() {
+			return true
+		}
+		ibox.Rows(f.m.MemOrder, func(start []int, n int) bool {
+			var chunkOff, dstOff int64
+			for d := range start {
+				chunkOff += int64(start[d]-cbox.Lo[d]) * chunkStrides[d]
+				dstOff += int64(start[d]-box.Lo[d]) * dstStrides[d]
+			}
+			runs = append(runs, ioRun{
+				fileOff:   base + chunkOff*es,
+				elems:     int64(n),
+				dstStart:  dstOff,
+				dstStride: dstStrides[inner],
+			})
+			return true
+		})
+		return true
+	})
+	if outerErr != nil {
+		return nil, outerErr
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].fileOff < runs[j].fileOff })
+	return runs, nil
+}
+
+// scatterGather moves bytes between the sorted-run scratch buffer and
+// the user buffer.
+func (f *File) scatterGather(runs []ioRun, scratch, user []byte, toUser bool) {
+	es := int64(f.m.DType.Size())
+	var at int64
+	for _, r := range runs {
+		if r.dstStride == 1 {
+			u := user[r.dstStart*es : (r.dstStart+r.elems)*es]
+			s := scratch[at : at+r.elems*es]
+			if toUser {
+				copy(u, s)
+			} else {
+				copy(s, u)
+			}
+		} else {
+			for e := int64(0); e < r.elems; e++ {
+				u := user[(r.dstStart+e*r.dstStride)*es:]
+				s := scratch[at+e*es:]
+				if toUser {
+					copy(u[:es], s[:es])
+				} else {
+					copy(s[:es], u[:es])
+				}
+			}
+		}
+		at += r.elems * es
+	}
+}
+
+func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective bool) error {
+	runs, err := f.sectionRuns(box, order)
+	if err != nil {
+		return err
+	}
+	es := int64(f.m.DType.Size())
+	var total int64
+	for _, r := range runs {
+		total += r.elems * es
+	}
+	if !box.Empty() && int64(len(buf)) < box.Volume()*es {
+		return fmt.Errorf("drxmp: buffer of %d bytes for %d-byte section", len(buf), box.Volume()*es)
+	}
+	scratch := make([]byte, total)
+	var blocks []mpiio.Block
+	var pruns []pfs.Run
+	if collective {
+		blocks = make([]mpiio.Block, len(runs))
+		for i, r := range runs {
+			blocks[i] = mpiio.Block{Off: r.fileOff, Len: r.elems * es}
+		}
+	} else {
+		// Coalesce adjacent extents (runs are sorted by file offset, and
+		// ReadV/WriteV pack them back-to-back, so merging is lossless).
+		for _, r := range runs {
+			l := r.elems * es
+			if n := len(pruns); n > 0 && pruns[n-1].Off+pruns[n-1].Len == r.fileOff {
+				pruns[n-1].Len += l
+				continue
+			}
+			pruns = append(pruns, pfs.Run{Off: r.fileOff, Len: l})
+		}
+	}
+
+	if write {
+		f.scatterGather(runs, scratch, buf, false)
+		if collective {
+			if len(blocks) == 0 {
+				return f.io.WriteAllAt(nil, 0)
+			}
+			ft, err := mpiio.FromBlocks(blocks)
+			if err != nil {
+				return err
+			}
+			if err := f.io.SetView(0, ft); err != nil {
+				return err
+			}
+			return f.io.WriteAllAt(scratch, 0)
+		}
+		_, err := f.fs.WriteV(pruns, scratch)
+		return err
+	}
+	if collective {
+		if len(blocks) == 0 {
+			return f.io.ReadAllAt(nil, 0)
+		}
+		ft, err := mpiio.FromBlocks(blocks)
+		if err != nil {
+			return err
+		}
+		if err := f.io.SetView(0, ft); err != nil {
+			return err
+		}
+		if err := f.io.ReadAllAt(scratch, 0); err != nil {
+			return err
+		}
+	} else {
+		if _, err := f.fs.ReadV(pruns, scratch); err != nil {
+			return err
+		}
+	}
+	f.scatterGather(runs, scratch, buf, true)
+	return nil
+}
+
+// ReadSection reads the sub-array `box` into buf (dense, in the given
+// order) with independent I/O.
+func (f *File) ReadSection(box Box, buf []byte, order Order) error {
+	return f.sectionIO(box, buf, order, false, false)
+}
+
+// WriteSection writes buf (dense over box in the given order) with
+// independent I/O. Partial chunk coverage is handled exactly: only the
+// covered byte runs are written.
+func (f *File) WriteSection(box Box, buf []byte, order Order) error {
+	return f.sectionIO(box, buf, order, true, false)
+}
+
+// ReadSectionAll is the collective read (DRXMP_Read_all): every process
+// of the communicator must call it, each with its own box (possibly
+// empty). Two-phase aggregation turns the interleaved chunk accesses
+// into streaming reads.
+func (f *File) ReadSectionAll(box Box, buf []byte, order Order) error {
+	return f.sectionIO(box, buf, order, false, true)
+}
+
+// WriteSectionAll is the collective write (DRXMP_Write_all).
+func (f *File) WriteSectionAll(box Box, buf []byte, order Order) error {
+	return f.sectionIO(box, buf, order, true, true)
+}
+
+// ReadSectionFloat64s is ReadSection with float64 conversion.
+func (f *File) ReadSectionFloat64s(box Box, order Order) ([]float64, error) {
+	buf := make([]byte, box.Volume()*int64(f.m.DType.Size()))
+	if err := f.ReadSection(box, buf, order); err != nil {
+		return nil, err
+	}
+	return dtype.DecodeFloat64s(f.m.DType, buf, int(box.Volume())), nil
+}
+
+// WriteSectionFloat64s is WriteSection from float64 values.
+func (f *File) WriteSectionFloat64s(box Box, vals []float64, order Order) error {
+	if int64(len(vals)) != box.Volume() {
+		return fmt.Errorf("drxmp: %d values for box of %d elements", len(vals), box.Volume())
+	}
+	return f.WriteSection(box, dtype.EncodeFloat64s(f.m.DType, vals), order)
+}

@@ -1,0 +1,607 @@
+// Package cluster is the SPMD runtime standing in for MPI-2 in this
+// reproduction. A "process" is a goroutine executing the user's rank
+// function; a Comm carries rank/size plus point-to-point messaging with
+// tags and the collective operations DRX-MP needs (barrier, broadcast,
+// gather, scatter, allgather, reduce, all-to-all).
+//
+// Semantics follow MPI where it matters to the paper's library:
+//
+//   - Messages between a pair of ranks with the same tag are
+//     non-overtaking (FIFO mailboxes with in-order matching).
+//   - Receives match on (source, tag) with AnySource / AnyTag wildcards.
+//   - Collectives must be called by every rank of the communicator in
+//     the same order (the usual SPMD contract); each call is sequence-
+//     numbered internally so adjacent collectives never cross-talk.
+//   - Split creates sub-communicators by color/key, as MPI_Comm_split.
+//
+// Sends are buffered (never block); receives block until a matching
+// message arrives. Run collects per-rank errors and converts panics
+// into errors so a failing rank cannot hang the harness.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// AnySource matches messages from any rank.
+const AnySource = -1
+
+// AnyTag matches messages with any user tag.
+const AnyTag = -1
+
+// message is one queued point-to-point payload.
+type message struct {
+	ctx  int64
+	from int
+	tag  int
+	data []byte
+}
+
+// mailbox is one rank's incoming queue with condition-variable matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []message
+	closed  bool
+	err     error  // sticky failure reported to blocked receivers
+	blocked string // what the rank is waiting for (deadlock reports)
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// World is the shared state of one Run invocation.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	// remote, when non-nil, carries a message from one world rank to
+	// another instead of the default direct mailbox enqueue. RunTCP
+	// installs a socket-based carrier here; self-sends stay local.
+	remote func(fromWorld, toWorld int, m message) error
+
+	mu     sync.Mutex
+	ctxIDs map[string]int64 // deterministic context keys -> unique ids
+	nextID int64
+	shared map[string]any // registry for one-sided windows (package rma)
+}
+
+// enqueue places m in world rank wr's mailbox (final local delivery,
+// used both by in-process sends and by transport readers).
+func (w *World) enqueue(wr int, m message) error {
+	mb := w.boxes[wr]
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return fmt.Errorf("cluster: send to finished rank %d", wr)
+	}
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+	return nil
+}
+
+// fail closes every mailbox with a sticky error so blocked receivers
+// return instead of hanging (used when a transport connection dies).
+func (w *World) fail(err error) {
+	for _, mb := range w.boxes {
+		mb.mu.Lock()
+		mb.closed = true
+		if mb.err == nil {
+			mb.err = err
+		}
+		mb.mu.Unlock()
+		mb.cond.Broadcast()
+	}
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// ctxFor returns the unique context id for a deterministic key, creating
+// it on first use. All members of a new communicator compute the same
+// key, hence agree on the id without extra messaging.
+func (w *World) ctxFor(key string) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if id, ok := w.ctxIDs[key]; ok {
+		return id
+	}
+	w.nextID++
+	id := w.nextID
+	w.ctxIDs[key] = id
+	return id
+}
+
+// SharedPut publishes a value under a key, for collective object
+// creation (e.g. RMA windows). Publishing an existing key overwrites.
+func (w *World) SharedPut(key string, v any) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.shared[key] = v
+}
+
+// SharedGet retrieves a published value.
+func (w *World) SharedGet(key string) (any, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	v, ok := w.shared[key]
+	return v, ok
+}
+
+// SharedDelete removes a published value.
+func (w *World) SharedDelete(key string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.shared, key)
+}
+
+// Comm is a communicator: a group of ranks with a private message
+// context. The zero value is invalid; communicators come from Run or
+// Split.
+type Comm struct {
+	world *World
+	ctx   int64
+	rank  int   // rank within this communicator
+	ranks []int // communicator rank -> world rank
+
+	collSeq int64 // per-rank collective sequence number
+	splits  int64 // per-rank split counter (for deterministic ctx keys)
+}
+
+// Rank returns the caller's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// World returns the underlying world (shared-object registry access).
+func (c *Comm) World() *World { return c.world }
+
+// WorldRank translates a communicator rank to the world rank.
+func (c *Comm) WorldRank(r int) int { return c.ranks[r] }
+
+// Status describes a received message.
+type Status struct {
+	Source int // communicator rank of the sender
+	Tag    int
+}
+
+// Send delivers data to rank `to` (communicator rank) with a user tag
+// (>= 0). The payload is copied; sends never block.
+func (c *Comm) Send(to, tag int, data []byte) error {
+	if tag < 0 {
+		return fmt.Errorf("cluster: user tags must be >= 0 (got %d)", tag)
+	}
+	return c.send(to, tag, data)
+}
+
+func (c *Comm) send(to, tag int, data []byte) error {
+	if to < 0 || to >= len(c.ranks) {
+		return fmt.Errorf("cluster: send to rank %d of %d", to, len(c.ranks))
+	}
+	m := message{ctx: c.ctx, from: c.rank, tag: tag, data: append([]byte(nil), data...)}
+	fromWorld, toWorld := c.ranks[c.rank], c.ranks[to]
+	if c.world.remote != nil && fromWorld != toWorld {
+		return c.world.remote(fromWorld, toWorld, m)
+	}
+	return c.world.enqueue(toWorld, m)
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns
+// its payload. Use AnySource and/or AnyTag as wildcards. Matching is
+// FIFO among queued messages (non-overtaking per source+tag).
+func (c *Comm) Recv(from, tag int) ([]byte, Status, error) {
+	if tag < 0 && tag != AnyTag {
+		return nil, Status{}, fmt.Errorf("cluster: invalid receive tag %d", tag)
+	}
+	return c.recv(from, tag)
+}
+
+func (c *Comm) recv(from, tag int) ([]byte, Status, error) {
+	if from != AnySource && (from < 0 || from >= len(c.ranks)) {
+		return nil, Status{}, fmt.Errorf("cluster: recv from rank %d of %d", from, len(c.ranks))
+	}
+	mb := c.world.boxes[c.ranks[c.rank]]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	mb.blocked = fmt.Sprintf("recv(from=%d, tag=%d, ctx=%d)", from, tag, c.ctx)
+	for {
+		for i, m := range mb.queue {
+			if m.ctx != c.ctx {
+				continue
+			}
+			if from != AnySource && m.from != from {
+				continue
+			}
+			if tag != AnyTag && m.tag != tag {
+				continue
+			}
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			mb.blocked = ""
+			return m.data, Status{Source: m.from, Tag: m.tag}, nil
+		}
+		if mb.closed {
+			mb.blocked = ""
+			err := mb.err
+			if err == nil {
+				err = errors.New("cluster: mailbox closed")
+			}
+			return nil, Status{}, fmt.Errorf("cluster: recv aborted: %w", err)
+		}
+		mb.cond.Wait()
+	}
+}
+
+// --- collectives ---
+//
+// Collectives are built from point-to-point messages with negative tags
+// derived from a per-rank sequence number; the SPMD contract (same
+// collective order on every rank) guarantees the sequence numbers line
+// up across ranks.
+
+const (
+	opBarrier = iota
+	opBcast
+	opGather
+	opScatter
+	opAlltoall
+	opCount
+)
+
+func (c *Comm) collTag(op int) int {
+	c.collSeq++
+	return -int(c.collSeq*opCount) - op - 2 // always <= -2, distinct per call
+}
+
+// Barrier blocks until every rank of the communicator has entered it.
+func (c *Comm) Barrier() error {
+	_, err := c.Gather(0, nil)
+	if err != nil {
+		return err
+	}
+	_, err = c.Bcast(0, nil)
+	return err
+}
+
+// Bcast distributes root's data to every rank; every rank returns the
+// payload (root included; non-roots pass nil data).
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.collTag(opBcast)
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tag, data); err != nil {
+				return nil, err
+			}
+		}
+		return append([]byte(nil), data...), nil
+	}
+	got, _, err := c.recv(root, tag)
+	return got, err
+}
+
+// Gather collects each rank's data at root. Root returns a slice indexed
+// by rank; other ranks return nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	tag := c.collTag(opGather)
+	if c.rank != root {
+		return nil, c.send(root, tag, data)
+	}
+	out := make([][]byte, c.Size())
+	out[root] = append([]byte(nil), data...)
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		got, _, err := c.recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Allgather collects each rank's data at every rank.
+func (c *Comm) Allgather(data []byte) ([][]byte, error) {
+	all, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	// Flatten with length prefixes for the broadcast.
+	var flat []byte
+	if c.rank == 0 {
+		flat = packSlices(all)
+	}
+	flat, err = c.Bcast(0, flat)
+	if err != nil {
+		return nil, err
+	}
+	return unpackSlices(flat)
+}
+
+// Scatter distributes parts[r] from root to rank r; every rank returns
+// its part (non-roots pass nil parts).
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	// Validate before consuming a collective sequence number: a failed
+	// local call must not desynchronize this rank's tags from its peers.
+	if c.rank == root && len(parts) != c.Size() {
+		return nil, fmt.Errorf("cluster: scatter needs %d parts, got %d", c.Size(), len(parts))
+	}
+	tag := c.collTag(opScatter)
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.send(r, tag, parts[r]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]byte(nil), parts[root]...), nil
+	}
+	got, _, err := c.recv(root, tag)
+	return got, err
+}
+
+// Alltoallv sends send[r] to each rank r and returns the payloads
+// received from every rank (indexed by source). send must have length
+// Size(). This is the collective underlying two-phase I/O shuffles.
+func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
+	if len(send) != c.Size() {
+		return nil, fmt.Errorf("cluster: alltoallv needs %d parts, got %d", c.Size(), len(send))
+	}
+	tag := c.collTag(opAlltoall)
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		if err := c.send(r, tag, send[r]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, c.Size())
+	out[c.rank] = append([]byte(nil), send[c.rank]...)
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		got, _, err := c.recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
+// Split partitions the communicator by color; ranks with equal color
+// form a new communicator ordered by (key, rank), as MPI_Comm_split.
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	type entry struct{ color, key, rank int }
+	payload := fmt.Sprintf("%d %d", color, key)
+	all, err := c.Allgather([]byte(payload))
+	if err != nil {
+		return nil, err
+	}
+	var members []entry
+	for r, b := range all {
+		var e entry
+		if _, err := fmt.Sscanf(string(b), "%d %d", &e.color, &e.key); err != nil {
+			return nil, fmt.Errorf("cluster: split payload: %w", err)
+		}
+		e.rank = r
+		if e.color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].key != members[j].key {
+			return members[i].key < members[j].key
+		}
+		return members[i].rank < members[j].rank
+	})
+	c.splits++
+	ranks := make([]int, len(members))
+	newRank := -1
+	ids := make([]string, len(members))
+	for i, m := range members {
+		ranks[i] = c.ranks[m.rank]
+		ids[i] = fmt.Sprint(m.rank)
+		if m.rank == c.rank {
+			newRank = i
+		}
+	}
+	key2 := fmt.Sprintf("split/%d/%d/%d/%s", c.ctx, c.splits, color, strings.Join(ids, ","))
+	return &Comm{
+		world: c.world,
+		ctx:   c.world.ctxFor(key2),
+		rank:  newRank,
+		ranks: ranks,
+	}, nil
+}
+
+// --- typed collective helpers (generic free functions) ---
+
+// Allreduce combines each rank's values element-wise with op and returns
+// the combined vector on every rank. All ranks must pass equal-length
+// slices; enc must produce a fixed-width encoding.
+func Allreduce[T any](c *Comm, vals []T, op func(a, b T) T, enc func(T) []byte, dec func([]byte) T) ([]T, error) {
+	payload := make([]byte, 0, len(vals)*8)
+	for _, v := range vals {
+		payload = append(payload, enc(v)...)
+	}
+	all, err := c.Allgather(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := append([]T(nil), vals...)
+	width := 0
+	if len(vals) > 0 {
+		width = len(payload) / len(vals)
+	}
+	for r, b := range all {
+		if r == c.rank {
+			continue
+		}
+		if len(b) != len(payload) {
+			return nil, fmt.Errorf("cluster: allreduce length mismatch from rank %d", r)
+		}
+		for i := range out {
+			out[i] = op(out[i], dec(b[i*width:(i+1)*width]))
+		}
+	}
+	return out, nil
+}
+
+// AllreduceInt64 is Allreduce specialized for int64 vectors.
+func AllreduceInt64(c *Comm, vals []int64, op func(a, b int64) int64) ([]int64, error) {
+	return Allreduce(c, vals, op,
+		func(v int64) []byte { return appendU64(nil, uint64(v)) },
+		func(b []byte) int64 { return int64(u64(b)) })
+}
+
+// SumInt64 is the addition operator for AllreduceInt64.
+func SumInt64(a, b int64) int64 { return a + b }
+
+// MaxInt64 is the maximum operator for AllreduceInt64.
+func MaxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinInt64 is the minimum operator for AllreduceInt64.
+func MinInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- world construction and Run ---
+
+// Run executes fn on n ranks (goroutines) sharing one world and returns
+// the first error (by rank order) if any rank fails or panics.
+func Run(n int, fn func(c *Comm) error) error {
+	w, err := newWorld(n)
+	if err != nil {
+		return err
+	}
+	return w.run(fn)
+}
+
+// newWorld allocates the shared state for an n-rank world.
+func newWorld(n int) (*World, error) {
+	if n < 1 {
+		return nil, errors.New("cluster: need at least one rank")
+	}
+	w := &World{
+		size:   n,
+		boxes:  make([]*mailbox, n),
+		ctxIDs: map[string]int64{},
+		shared: map[string]any{},
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// run spawns the rank goroutines on the world's transport and joins
+// their errors (panics included, with stacks).
+func (w *World) run(fn func(c *Comm) error) error {
+	n := w.size
+	ranks := make([]int, n)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("cluster: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+				}
+			}()
+			c := &Comm{world: w, ctx: 1, rank: rank, ranks: ranks}
+			if err := fn(c); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+	var agg []error
+	for _, e := range errs {
+		if e != nil {
+			agg = append(agg, e)
+		}
+	}
+	return errors.Join(agg...)
+}
+
+// --- payload packing ---
+
+// packSlices frames a list of byte slices with uvarint-free fixed
+// 8-byte little-endian length prefixes (simple and allocation-light).
+func packSlices(parts [][]byte) []byte {
+	total := 8
+	for _, p := range parts {
+		total += 8 + len(p)
+	}
+	out := make([]byte, 0, total)
+	out = appendU64(out, uint64(len(parts)))
+	for _, p := range parts {
+		out = appendU64(out, uint64(len(p)))
+		out = append(out, p...)
+	}
+	return out
+}
+
+func unpackSlices(b []byte) ([][]byte, error) {
+	if len(b) < 8 {
+		return nil, errors.New("cluster: truncated pack header")
+	}
+	n := int(u64(b))
+	b = b[8:]
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 8 {
+			return nil, errors.New("cluster: truncated pack length")
+		}
+		l := int(u64(b))
+		b = b[8:]
+		if len(b) < l {
+			return nil, errors.New("cluster: truncated pack payload")
+		}
+		out = append(out, append([]byte(nil), b[:l]...))
+		b = b[l:]
+	}
+	return out, nil
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return append(b,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func u64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,574 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	var n int32
+	err := Run(4, func(c *Comm) error {
+		if c.Size() != 4 {
+			return fmt.Errorf("size = %d", c.Size())
+		}
+		atomic.AddInt32(&n, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("ran %d ranks", n)
+	}
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Error("Run(0) accepted")
+	}
+}
+
+func TestRunCollectsErrors(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "rank 1") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("kapow")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "kapow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []byte("hello"))
+		}
+		got, st, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if string(got) != "hello" || st.Source != 0 || st.Tag != 7 {
+			return fmt.Errorf("got %q from %d tag %d", got, st.Source, st.Tag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			if err := c.Send(1, 0, buf); err != nil {
+				return err
+			}
+			buf[0] = 99 // must not affect the in-flight message
+			return nil
+		}
+		got, _, err := c.Recv(0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			return fmt.Errorf("payload mutated: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMatching(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			// Send tag 2 first, then tag 1; receiver asks for 1 first.
+			if err := c.Send(1, 2, []byte("two")); err != nil {
+				return err
+			}
+			return c.Send(1, 1, []byte("one"))
+		}
+		one, _, err := c.Recv(0, 1)
+		if err != nil {
+			return err
+		}
+		two, _, err := c.Recv(0, 2)
+		if err != nil {
+			return err
+		}
+		if string(one) != "one" || string(two) != "two" {
+			return fmt.Errorf("got %q, %q", one, two)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return c.Send(0, c.Rank()+10, []byte{byte(c.Rank())})
+		}
+		seen := map[int]bool{}
+		for i := 0; i < 2; i++ {
+			got, st, err := c.Recv(AnySource, AnyTag)
+			if err != nil {
+				return err
+			}
+			if int(got[0]) != st.Source || st.Tag != st.Source+10 {
+				return fmt.Errorf("mismatched status %+v payload %v", st, got)
+			}
+			seen[st.Source] = true
+		}
+		if !seen[1] || !seen[2] {
+			return fmt.Errorf("sources seen: %v", seen)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOPerSourceTag(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		const n = 50
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := c.Send(1, 5, []byte{byte(i)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			got, _, err := c.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			if int(got[0]) != i {
+				return fmt.Errorf("message %d arrived out of order (got %d)", i, got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := c.Send(5, 0, nil); err == nil {
+			return errors.New("send to bad rank accepted")
+		}
+		if err := c.Send(1, -3, nil); err == nil {
+			return errors.New("negative user tag accepted")
+		}
+		if _, _, err := c.Recv(9, 0); err == nil {
+			return errors.New("recv from bad rank accepted")
+		}
+		if _, _, err := c.Recv(0, -9); err == nil {
+			return errors.New("bad recv tag accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var phase1 int32
+	err := Run(8, func(c *Comm) error {
+		atomic.AddInt32(&phase1, 1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got := atomic.LoadInt32(&phase1); got != 8 {
+			return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcast(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		var data []byte
+		if c.Rank() == 2 {
+			data = []byte("payload")
+		}
+		got, err := c.Bcast(2, data)
+		if err != nil {
+			return err
+		}
+		if string(got) != "payload" {
+			return fmt.Errorf("rank %d got %q", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		all, err := c.Gather(1, []byte{byte(c.Rank() * 3)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for r, b := range all {
+				if len(b) != 1 || int(b[0]) != r*3 {
+					return fmt.Errorf("gather[%d] = %v", r, b)
+				}
+			}
+			parts := make([][]byte, 4)
+			for r := range parts {
+				parts[r] = []byte{byte(r * 5)}
+			}
+			got, err := c.Scatter(1, parts)
+			if err != nil {
+				return err
+			}
+			if int(got[0]) != 5 {
+				return fmt.Errorf("root scatter part = %v", got)
+			}
+			return nil
+		}
+		if all != nil {
+			return errors.New("non-root gather returned data")
+		}
+		got, err := c.Scatter(1, nil)
+		if err != nil {
+			return err
+		}
+		if int(got[0]) != c.Rank()*5 {
+			return fmt.Errorf("rank %d scatter part = %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidatesParts(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if _, err := c.Scatter(0, [][]byte{{1}}); err == nil {
+				return errors.New("short parts accepted")
+			}
+			// Unblock peer with a real scatter.
+			_, err := c.Scatter(0, [][]byte{{1}, {2}})
+			return err
+		}
+		_, err := c.Scatter(0, nil)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		all, err := c.Allgather(bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1))
+		if err != nil {
+			return err
+		}
+		if len(all) != 6 {
+			return fmt.Errorf("allgather len = %d", len(all))
+		}
+		for r, b := range all {
+			if len(b) != r+1 {
+				return fmt.Errorf("rank %d: part %d has len %d", c.Rank(), r, len(b))
+			}
+			for _, x := range b {
+				if int(x) != r {
+					return fmt.Errorf("part %d content %v", r, b)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallv(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		send := make([][]byte, 4)
+		for r := range send {
+			send[r] = []byte{byte(c.Rank()), byte(r)}
+		}
+		got, err := c.Alltoallv(send)
+		if err != nil {
+			return err
+		}
+		for r, b := range got {
+			if len(b) != 2 || int(b[0]) != r || int(b[1]) != c.Rank() {
+				return fmt.Errorf("rank %d: from %d got %v", c.Rank(), r, b)
+			}
+		}
+		// Wrong part count errors out.
+		if _, err := c.Alltoallv(send[:2]); err == nil {
+			return errors.New("short alltoallv accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesDontCrossTalk(t *testing.T) {
+	// Back-to-back collectives with different payloads must not mix.
+	err := Run(4, func(c *Comm) error {
+		for i := 0; i < 20; i++ {
+			want := []byte(fmt.Sprintf("round-%d", i))
+			var data []byte
+			if c.Rank() == 0 {
+				data = want
+			}
+			got, err := c.Bcast(0, data)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("round %d: got %q", i, got)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceInt64(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		vals := []int64{int64(c.Rank()), 1, int64(10 * c.Rank())}
+		sum, err := AllreduceInt64(c, vals, SumInt64)
+		if err != nil {
+			return err
+		}
+		if sum[0] != 10 || sum[1] != 5 || sum[2] != 100 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		mx, err := AllreduceInt64(c, []int64{int64(c.Rank())}, MaxInt64)
+		if err != nil {
+			return err
+		}
+		if mx[0] != 4 {
+			return fmt.Errorf("max = %v", mx)
+		}
+		mn, err := AllreduceInt64(c, []int64{int64(c.Rank()) - 2}, MinInt64)
+		if err != nil {
+			return err
+		}
+		if mn[0] != -2 {
+			return fmt.Errorf("min = %v", mn)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		// Even/odd split, keyed by descending world rank.
+		sub, err := c.Split(c.Rank()%2, -c.Rank())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size = %d", sub.Size())
+		}
+		// Highest world rank gets sub-rank 0 (smallest key).
+		wantRank := map[int]int{4: 0, 2: 1, 0: 2, 5: 0, 3: 1, 1: 2}[c.Rank()]
+		if sub.Rank() != wantRank {
+			return fmt.Errorf("world rank %d got sub rank %d, want %d", c.Rank(), sub.Rank(), wantRank)
+		}
+		// Messages within the sub-communicator must not leak across.
+		all, err := sub.Allgather([]byte{byte(c.Rank())})
+		if err != nil {
+			return err
+		}
+		for _, b := range all {
+			if int(b[0])%2 != c.Rank()%2 {
+				return fmt.Errorf("rank %d sub-comm leaked member %d", c.Rank(), b[0])
+			}
+		}
+		// And collectives on the parent still work afterwards.
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingleton(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		sub, err := c.Split(c.Rank(), 0) // every rank its own color
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			return fmt.Errorf("singleton sub: size %d rank %d", sub.Size(), sub.Rank())
+		}
+		got, err := sub.Bcast(0, []byte{42})
+		if err != nil || got[0] != 42 {
+			return fmt.Errorf("singleton bcast: %v %v", got, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldSharedRegistry(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.World().SharedPut("buf", []int{1, 2, 3})
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		v, ok := c.World().SharedGet("buf")
+		if !ok {
+			return errors.New("shared object missing")
+		}
+		if s := v.([]int); s[2] != 3 {
+			return fmt.Errorf("shared object content %v", s)
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			c.World().SharedDelete("buf")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(1, func(c *Comm) error {
+		if _, ok := c.World().SharedGet("nope"); ok {
+			return errors.New("phantom shared object")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankMapping(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()/2, 0)
+		if err != nil {
+			return err
+		}
+		want := (c.Rank() / 2 * 2) + sub.Rank()
+		if got := sub.WorldRank(sub.Rank()); got != want {
+			return fmt.Errorf("WorldRank = %d, want %d", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackUnpackSlices(t *testing.T) {
+	in := [][]byte{{}, {1}, {2, 3, 4}, nil}
+	out, err := unpackSlices(packSlices(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 || len(out[0]) != 0 || len(out[3]) != 0 || !bytes.Equal(out[2], []byte{2, 3, 4}) {
+		t.Fatalf("round trip = %v", out)
+	}
+	for _, bad := range [][]byte{{1, 2}, packSlices(in)[:9], packSlices(in)[:17]} {
+		if _, err := unpackSlices(bad); err == nil {
+			t.Errorf("corrupt pack %v accepted", bad)
+		}
+	}
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	err := Run(2, func(c *Comm) error {
+		msg := make([]byte, 64)
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(1, 0, msg); err != nil {
+					return err
+				}
+				if _, _, err := c.Recv(1, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := c.Recv(0, 0); err != nil {
+				return err
+			}
+			if err := c.Send(0, 0, msg); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	err := Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"drxmp/internal/core"
+)
+
+// Example reproduces the paper's Fig. 3 worked computation: a 3-D array
+// initially allocated as A[4][3][1] (in chunk units), extended along D2
+// twice (one uninterrupted expansion), then D1, then D0 by 2, then D2
+// again — after which chunk A[4,2,2] lives at linear address 56.
+func Example() {
+	s, _ := core.NewSpace([]int{4, 3, 1})
+	_ = s.Extend(2, 1)
+	_ = s.Extend(2, 1) // uninterrupted: merges into the previous record
+	_ = s.Extend(1, 1)
+	_ = s.Extend(0, 2)
+	_ = s.Extend(2, 1)
+
+	q, _ := s.Map([]int{4, 2, 2})
+	fmt.Println("F*(4,2,2) =", q)
+
+	idx, _ := s.Inverse(56, nil)
+	fmt.Println("F*⁻¹(56) =", idx)
+
+	fmt.Println("bounds:", s.Bounds(), "chunks:", s.Total())
+	// Output:
+	// F*(4,2,2) = 56
+	// F*⁻¹(56) = [4 2 2]
+	// bounds: [6 4 4] chunks: 96
+}
+
+// ExampleSpace_Extend shows the defining property: growth never moves
+// an allocated chunk.
+func ExampleSpace_Extend() {
+	s, _ := core.NewSpace([]int{2, 2})
+	before, _ := s.Map([]int{1, 1})
+
+	_ = s.Extend(1, 5) // grow the "wrong" dimension for row-major
+	_ = s.Extend(0, 3)
+
+	after, _ := s.Map([]int{1, 1})
+	fmt.Println(before == after)
+	// Output: true
+}

@@ -1,0 +1,226 @@
+// Package dra is the comparison baseline modelled on Disk Resident
+// Arrays (Nieplocha & Foster, Frontiers'96), the library DRX-MP is
+// positioned against: a dense k-dimensional array stored out-of-core in
+// plain row-major order.
+//
+// Row-major files are weakly extendible in dimension 0 only (new planes
+// append). Extending any other dimension changes the multiplying
+// coefficients of every element, so the whole file must be reorganized;
+// Extend does precisely that and accounts the moved bytes — this is the
+// cost experiment E1 measures against the axial-vector scheme.
+package dra
+
+import (
+	"fmt"
+
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+	"drxmp/internal/pfs"
+)
+
+// Array is a row-major out-of-core array.
+type Array struct {
+	dt     dtype.T
+	bounds grid.Shape
+	fs     *pfs.FS
+
+	// BytesMoved accumulates reorganization traffic (reads + writes of
+	// relocated data).
+	BytesMoved int64
+	// Reorganizations counts full-file rewrites.
+	Reorganizations int64
+}
+
+// Create allocates a row-major array in a fresh file.
+func Create(name string, dt dtype.T, bounds []int, fsOpts pfs.Options) (*Array, error) {
+	if !dt.Valid() {
+		return nil, fmt.Errorf("dra: invalid dtype %v", dt)
+	}
+	sh := grid.Shape(bounds)
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	if !sh.Positive() {
+		return nil, fmt.Errorf("dra: bounds %v must be positive", sh)
+	}
+	fs, err := pfs.Create(name, fsOpts)
+	if err != nil {
+		return nil, err
+	}
+	a := &Array{dt: dt, bounds: sh.Clone(), fs: fs}
+	if err := fs.Truncate(a.Bytes()); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// DType returns the element type.
+func (a *Array) DType() dtype.T { return a.dt }
+
+// Bounds returns the current bounds.
+func (a *Array) Bounds() []int { return a.bounds.Clone() }
+
+// Bytes returns the file size in bytes.
+func (a *Array) Bytes() int64 { return a.bounds.Volume() * int64(a.dt.Size()) }
+
+// FS exposes the backing store (stats in benchmarks).
+func (a *Array) FS() *pfs.FS { return a.fs }
+
+// Close releases the backing store.
+func (a *Array) Close() error { return a.fs.Close() }
+
+// offsetOf returns the row-major byte offset of an element.
+func (a *Array) offsetOf(idx []int) int64 {
+	return grid.Offset(a.bounds, idx, grid.RowMajor) * int64(a.dt.Size())
+}
+
+// Extend grows dimension dim by `by` indices. Dimension 0 appends
+// cheaply; any other dimension triggers a full reorganization (every
+// element relocates to its new row-major offset).
+func (a *Array) Extend(dim, by int) error {
+	if dim < 0 || dim >= len(a.bounds) {
+		return fmt.Errorf("dra: dimension %d out of range", dim)
+	}
+	if by < 1 {
+		return fmt.Errorf("dra: extend by %d", by)
+	}
+	if dim == 0 {
+		a.bounds[0] += by
+		return a.fs.Truncate(a.Bytes())
+	}
+	// Reorganization: stream the old content out and back in at the new
+	// offsets, highest addresses first so nothing is clobbered (new
+	// offsets are always >= old offsets when a trailing dimension
+	// grows).
+	es := int64(a.dt.Size())
+	oldBounds := a.bounds.Clone()
+	newBounds := a.bounds.Clone()
+	newBounds[dim] += by
+	oldStrides := grid.Strides(oldBounds, grid.RowMajor)
+	newStrides := grid.Strides(newBounds, grid.RowMajor)
+
+	// Move row by row (innermost-dimension runs), from the last row to
+	// the first. Row length differs only if dim == k-1, in which case a
+	// run is the old row length.
+	rowLen := int64(oldBounds[len(oldBounds)-1]) * es
+	outer := oldBounds.Clone()
+	outer[len(outer)-1] = 1
+	total := grid.Shape(outer).Volume()
+	buf := make([]byte, rowLen)
+	idx := make([]int, len(oldBounds))
+	for r := total - 1; r >= 0; r-- {
+		grid.Unoffset(grid.Shape(outer), r, grid.RowMajor, idx)
+		var oldOff, newOff int64
+		for d, i := range idx {
+			oldOff += int64(i) * oldStrides[d]
+			newOff += int64(i) * newStrides[d]
+		}
+		if oldOff != newOff {
+			if _, err := a.fs.ReadAt(buf, oldOff*es); err != nil {
+				return err
+			}
+			if _, err := a.fs.WriteAt(buf, newOff*es); err != nil {
+				return err
+			}
+			a.BytesMoved += 2 * rowLen
+			// Zero the vacated gap region between this row's new tail
+			// and the next row's new location lazily: newly exposed
+			// cells must read as zero. The gap is [oldOff..) only where
+			// not overwritten; for simplicity zero the stretched row's
+			// new padding below.
+		}
+		if dim == len(oldBounds)-1 {
+			// Zero the grown tail of this row.
+			pad := make([]byte, int64(by)*es)
+			if _, err := a.fs.WriteAt(pad, (newOff+int64(oldBounds[dim]))*es); err != nil {
+				return err
+			}
+		}
+	}
+	// For interior dimensions the new planes interleave between old
+	// ones; zero them explicitly so reads are well defined.
+	if dim != len(oldBounds)-1 {
+		a.bounds = newBounds
+		zeroBox := a.boundsBox()
+		zeroBox.Lo[dim] = oldBounds[dim]
+		zero := make([]byte, zeroBox.Volume()*es)
+		if err := a.writeBoxInternal(zeroBox, zero); err != nil {
+			return err
+		}
+	} else {
+		a.bounds = newBounds
+	}
+	a.Reorganizations++
+	return a.fs.Truncate(a.Bytes())
+}
+
+func (a *Array) boundsBox() grid.Box { return grid.BoxOf(a.bounds) }
+
+// ReadBox reads the sub-array into buf, dense in the requested order.
+func (a *Array) ReadBox(box grid.Box, buf []byte, order grid.Order) error {
+	return a.boxIO(box, buf, order, false)
+}
+
+// WriteBox writes buf (dense over box in the given order).
+func (a *Array) WriteBox(box grid.Box, buf []byte, order grid.Order) error {
+	return a.boxIO(box, buf, order, true)
+}
+
+func (a *Array) writeBoxInternal(box grid.Box, buf []byte) error {
+	return a.boxIO(box, buf, grid.RowMajor, true)
+}
+
+func (a *Array) boxIO(box grid.Box, buf []byte, order grid.Order, write bool) error {
+	if box.Rank() != len(a.bounds) {
+		return fmt.Errorf("dra: box rank %d != %d", box.Rank(), len(a.bounds))
+	}
+	if box.Empty() {
+		return nil
+	}
+	if !a.boundsBox().ContainsBox(box) {
+		return fmt.Errorf("dra: box %v outside bounds %v", box, a.bounds)
+	}
+	es := int64(a.dt.Size())
+	if int64(len(buf)) < box.Volume()*es {
+		return fmt.Errorf("dra: buffer of %d bytes for %d-byte box", len(buf), box.Volume()*es)
+	}
+	boxShape := box.Shape()
+	userStrides := grid.Strides(boxShape, order)
+	fileStrides := grid.Strides(a.bounds, grid.RowMajor)
+	inner := len(a.bounds) - 1 // file rows run along the last dimension
+
+	var err error
+	box.Rows(grid.RowMajor, func(start []int, n int) bool {
+		var fileOff, userOff int64
+		for d, s := range start {
+			fileOff += int64(s) * fileStrides[d]
+			userOff += int64(s-box.Lo[d]) * userStrides[d]
+		}
+		stride := userStrides[inner]
+		if stride == 1 {
+			seg := buf[userOff*es : (userOff+int64(n))*es]
+			if write {
+				_, err = a.fs.WriteAt(seg, fileOff*es)
+			} else {
+				_, err = a.fs.ReadAt(seg, fileOff*es)
+			}
+			return err == nil
+		}
+		// Transposing access: element-at-a-time (this is exactly the
+		// "abysmal performance" mode of conventional layouts — each
+		// element costs its own request unless the caller batches).
+		tmp := make([]byte, es)
+		for e := int64(0); e < int64(n) && err == nil; e++ {
+			u := buf[(userOff+e*stride)*es:]
+			if write {
+				copy(tmp, u[:es])
+				_, err = a.fs.WriteAt(tmp, (fileOff+e)*es)
+			} else {
+				_, err = a.fs.ReadAt(tmp, (fileOff+e)*es)
+				copy(u[:es], tmp)
+			}
+		}
+		return err == nil
+	})
+	return err
+}

@@ -1,0 +1,259 @@
+package dra
+
+import (
+	"reflect"
+	"testing"
+
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+	"drxmp/internal/pfs"
+)
+
+func create(t *testing.T, bounds []int) *Array {
+	t.Helper()
+	a, err := Create("t", dtype.Float64, bounds, pfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	return a
+}
+
+func fill(t *testing.T, a *Array) map[string]float64 {
+	t.Helper()
+	want := map[string]float64{}
+	b := grid.BoxOf(grid.Shape(a.Bounds()))
+	vals := make([]float64, b.Volume())
+	at := 0
+	b.Iterate(grid.RowMajor, func(idx []int) bool {
+		v := float64(at*7 + 1)
+		vals[at] = v
+		want[grid.Shape(idx).String()] = v
+		at++
+		return true
+	})
+	if err := a.WriteBox(b, dtype.EncodeFloat64s(dtype.Float64, vals), grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func checkAll(t *testing.T, a *Array, want map[string]float64) {
+	t.Helper()
+	b := grid.BoxOf(grid.Shape(a.Bounds()))
+	buf := make([]byte, b.Volume()*8)
+	if err := a.ReadBox(b, buf, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	at := 0
+	b.Iterate(grid.RowMajor, func(idx []int) bool {
+		got := dtype.Float64At(dtype.Float64, buf[at*8:])
+		k := grid.Shape(idx).String()
+		w, ok := want[k]
+		if !ok {
+			w = 0 // newly exposed cells read as zero
+		}
+		if got != w {
+			t.Fatalf("cell %v = %v, want %v", idx, got, w)
+		}
+		at++
+		return true
+	})
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create("t", dtype.Invalid, []int{2}, pfs.Options{}); err == nil {
+		t.Error("invalid dtype accepted")
+	}
+	if _, err := Create("t", dtype.Float64, []int{0}, pfs.Options{}); err == nil {
+		t.Error("zero bound accepted")
+	}
+	if _, err := Create("t", dtype.Float64, nil, pfs.Options{}); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	a := create(t, []int{4, 5})
+	want := fill(t, a)
+	checkAll(t, a, want)
+	// Sub-box in both orders.
+	box := grid.NewBox([]int{1, 1}, []int{3, 4})
+	row := make([]byte, box.Volume()*8)
+	if err := a.ReadBox(box, row, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	col := make([]byte, box.Volume()*8)
+	if err := a.ReadBox(box, col, grid.ColMajor); err != nil {
+		t.Fatal(err)
+	}
+	sh := box.Shape()
+	box.Iterate(grid.RowMajor, func(idx []int) bool {
+		rel := []int{idx[0] - 1, idx[1] - 1}
+		rv := dtype.Float64At(dtype.Float64, row[grid.Offset(sh, rel, grid.RowMajor)*8:])
+		cv := dtype.Float64At(dtype.Float64, col[grid.Offset(sh, rel, grid.ColMajor)*8:])
+		if rv != cv || rv != want[grid.Shape(idx).String()] {
+			t.Fatalf("order mismatch at %v: %v vs %v", idx, rv, cv)
+		}
+		return true
+	})
+}
+
+// TestExtendDim0Cheap: appending along dimension 0 moves nothing.
+func TestExtendDim0Cheap(t *testing.T) {
+	a := create(t, []int{3, 4})
+	want := fill(t, a)
+	if err := a.Extend(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if a.BytesMoved != 0 || a.Reorganizations != 0 {
+		t.Fatalf("dim-0 extension moved %d bytes", a.BytesMoved)
+	}
+	if got := a.Bounds(); !reflect.DeepEqual(got, []int{5, 4}) {
+		t.Fatalf("bounds = %v", got)
+	}
+	checkAll(t, a, want)
+}
+
+// TestExtendTrailingDimReorganizes: growing the last dimension rewrites
+// the file but preserves every value.
+func TestExtendTrailingDimReorganizes(t *testing.T) {
+	a := create(t, []int{3, 4})
+	want := fill(t, a)
+	if err := a.Extend(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.Reorganizations != 1 {
+		t.Fatalf("reorganizations = %d", a.Reorganizations)
+	}
+	if a.BytesMoved == 0 {
+		t.Fatal("no bytes moved by reorganization")
+	}
+	if got := a.Bounds(); !reflect.DeepEqual(got, []int{3, 7}) {
+		t.Fatalf("bounds = %v", got)
+	}
+	checkAll(t, a, want)
+}
+
+// TestExtendInteriorDimReorganizes: growing an interior dimension of a
+// 3-D array.
+func TestExtendInteriorDimReorganizes(t *testing.T) {
+	a := create(t, []int{2, 3, 4})
+	want := fill(t, a)
+	if err := a.Extend(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Bounds(); !reflect.DeepEqual(got, []int{2, 5, 4}) {
+		t.Fatalf("bounds = %v", got)
+	}
+	checkAll(t, a, want)
+	// Moved bytes scale with the array, not the increment: everything
+	// after the first plane relocated.
+	if a.BytesMoved < a.Bytes()/4 {
+		t.Fatalf("suspiciously few bytes moved: %d of %d", a.BytesMoved, a.Bytes())
+	}
+}
+
+func TestRepeatedMixedExtensions(t *testing.T) {
+	a := create(t, []int{2, 2})
+	want := fill(t, a)
+	for i := 0; i < 4; i++ {
+		if err := a.Extend(i%2, 1); err != nil {
+			t.Fatal(err)
+		}
+		checkAll(t, a, want)
+	}
+	if got := a.Bounds(); !reflect.DeepEqual(got, []int{4, 4}) {
+		t.Fatalf("bounds = %v", got)
+	}
+	if a.Reorganizations != 2 {
+		t.Fatalf("reorganizations = %d", a.Reorganizations)
+	}
+}
+
+func TestExtendValidation(t *testing.T) {
+	a := create(t, []int{2, 2})
+	if err := a.Extend(-1, 1); err == nil {
+		t.Error("bad dim accepted")
+	}
+	if err := a.Extend(0, 0); err == nil {
+		t.Error("zero extension accepted")
+	}
+}
+
+func TestBoxValidation(t *testing.T) {
+	a := create(t, []int{2, 2})
+	if err := a.ReadBox(grid.NewBox([]int{0}, []int{1}), make([]byte, 8), grid.RowMajor); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if err := a.ReadBox(grid.NewBox([]int{0, 0}, []int{3, 1}), make([]byte, 24), grid.RowMajor); err == nil {
+		t.Error("out-of-bounds accepted")
+	}
+	if err := a.ReadBox(grid.NewBox([]int{0, 0}, []int{2, 2}), make([]byte, 8), grid.RowMajor); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := a.ReadBox(grid.NewBox([]int{1, 1}, []int{1, 2}), nil, grid.RowMajor); err != nil {
+		t.Error("empty box should be a no-op")
+	}
+}
+
+// TestColumnScanCostsMoreThanRowScan is the E2 structural claim for
+// row-major files.
+func TestColumnScanCostsMoreThanRowScan(t *testing.T) {
+	mk := func() *Array {
+		a, err := Create("t", dtype.Float64, []int{32, 32}, pfs.Options{Cost: pfs.DefaultCost()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fillQuiet(t, a)
+		a.FS().ResetStats()
+		return a
+	}
+	rowA := mk()
+	buf := make([]byte, 32*8)
+	if err := rowA.ReadBox(grid.NewBox([]int{5, 0}, []int{6, 32}), buf, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	rowStats := rowA.FS().Stats()
+	rowA.Close()
+
+	colA := mk()
+	if err := colA.ReadBox(grid.NewBox([]int{0, 5}, []int{32, 6}), buf, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	colStats := colA.FS().Stats()
+	colA.Close()
+
+	if colStats.Requests() < 8*rowStats.Requests() {
+		t.Fatalf("column scan %d requests vs row scan %d: expected ~32x", colStats.Requests(), rowStats.Requests())
+	}
+	if colStats.Elapsed() <= rowStats.Elapsed() {
+		t.Fatalf("column scan %v not slower than row scan %v", colStats.Elapsed(), rowStats.Elapsed())
+	}
+}
+
+func fillQuiet(t *testing.T, a *Array) {
+	t.Helper()
+	b := grid.BoxOf(grid.Shape(a.Bounds()))
+	vals := make([]float64, b.Volume())
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := a.WriteBox(b, dtype.EncodeFloat64s(dtype.Float64, vals), grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkReorganize(b *testing.B) {
+	a, _ := Create("b", dtype.Float64, []int{64, 64}, pfs.Options{})
+	defer a.Close()
+	buf := make([]byte, 64*64*8)
+	_ = a.WriteBox(grid.BoxOf(grid.Shape{64, 64}), buf, grid.RowMajor)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each extension reorganizes the (growing) file.
+		if err := a.Extend(1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

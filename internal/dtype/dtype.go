@@ -1,0 +1,182 @@
+// Package dtype defines the element data types supported by the DRX
+// array libraries and little-endian (de)serialization helpers for dense
+// buffers of those types.
+//
+// The paper's DRX-MP supports the basic MPI RMA-compatible types integer,
+// double and complex; we additionally support the 32-bit and 64-bit
+// variants of each family, which costs nothing and matches what a real
+// release would ship.
+package dtype
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// T identifies an element data type.
+type T uint8
+
+const (
+	// Invalid is the zero value; no valid array uses it.
+	Invalid T = iota
+	// Int32 is a signed 32-bit integer.
+	Int32
+	// Int64 is a signed 64-bit integer.
+	Int64
+	// Float32 is an IEEE-754 single-precision float.
+	Float32
+	// Float64 is an IEEE-754 double-precision float.
+	Float64
+	// Complex64 is a pair of Float32 (real, imaginary).
+	Complex64
+	// Complex128 is a pair of Float64 (real, imaginary).
+	Complex128
+)
+
+// Size returns the element size in bytes, or 0 for Invalid.
+func (t T) Size() int {
+	switch t {
+	case Int32, Float32:
+		return 4
+	case Int64, Float64, Complex64:
+		return 8
+	case Complex128:
+		return 16
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether t names a supported type.
+func (t T) Valid() bool { return t.Size() != 0 }
+
+func (t T) String() string {
+	switch t {
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Complex64:
+		return "complex64"
+	case Complex128:
+		return "complex128"
+	default:
+		return fmt.Sprintf("dtype(%d)", uint8(t))
+	}
+}
+
+// Parse maps a type name (as printed by String) back to a T.
+func Parse(name string) (T, error) {
+	for _, t := range []T{Int32, Int64, Float32, Float64, Complex64, Complex128} {
+		if t.String() == name {
+			return t, nil
+		}
+	}
+	return Invalid, fmt.Errorf("dtype: unknown type %q", name)
+}
+
+// le is the byte order used for all on-disk data.
+var le = binary.LittleEndian
+
+// PutFloat64 encodes v as a t-typed element at p[:t.Size()].
+// Integer types truncate; complex types set the real part and zero the
+// imaginary part. It panics if p is too short or t is Invalid.
+func PutFloat64(t T, p []byte, v float64) {
+	switch t {
+	case Int32:
+		le.PutUint32(p, uint32(int32(v)))
+	case Int64:
+		le.PutUint64(p, uint64(int64(v)))
+	case Float32:
+		le.PutUint32(p, math.Float32bits(float32(v)))
+	case Float64:
+		le.PutUint64(p, math.Float64bits(v))
+	case Complex64:
+		le.PutUint32(p, math.Float32bits(float32(v)))
+		le.PutUint32(p[4:], 0)
+	case Complex128:
+		le.PutUint64(p, math.Float64bits(v))
+		le.PutUint64(p[8:], 0)
+	default:
+		panic("dtype: PutFloat64 on invalid type")
+	}
+}
+
+// Float64At decodes the t-typed element at p[:t.Size()] as a float64.
+// Complex types return the real part.
+func Float64At(t T, p []byte) float64 {
+	switch t {
+	case Int32:
+		return float64(int32(le.Uint32(p)))
+	case Int64:
+		return float64(int64(le.Uint64(p)))
+	case Float32:
+		return float64(math.Float32frombits(le.Uint32(p)))
+	case Float64:
+		return math.Float64frombits(le.Uint64(p))
+	case Complex64:
+		return float64(math.Float32frombits(le.Uint32(p)))
+	case Complex128:
+		return math.Float64frombits(le.Uint64(p))
+	default:
+		panic("dtype: Float64At on invalid type")
+	}
+}
+
+// PutComplex encodes v as a t-typed element. For real types the
+// imaginary part is discarded.
+func PutComplex(t T, p []byte, v complex128) {
+	switch t {
+	case Complex64:
+		le.PutUint32(p, math.Float32bits(float32(real(v))))
+		le.PutUint32(p[4:], math.Float32bits(float32(imag(v))))
+	case Complex128:
+		le.PutUint64(p, math.Float64bits(real(v)))
+		le.PutUint64(p[8:], math.Float64bits(imag(v)))
+	default:
+		PutFloat64(t, p, real(v))
+	}
+}
+
+// ComplexAt decodes the t-typed element at p as a complex128. Real types
+// yield a zero imaginary part.
+func ComplexAt(t T, p []byte) complex128 {
+	switch t {
+	case Complex64:
+		re := math.Float32frombits(le.Uint32(p))
+		im := math.Float32frombits(le.Uint32(p[4:]))
+		return complex(float64(re), float64(im))
+	case Complex128:
+		re := math.Float64frombits(le.Uint64(p))
+		im := math.Float64frombits(le.Uint64(p[8:]))
+		return complex(re, im)
+	default:
+		return complex(Float64At(t, p), 0)
+	}
+}
+
+// EncodeFloat64s writes vals as consecutive t-typed elements into a new
+// byte slice.
+func EncodeFloat64s(t T, vals []float64) []byte {
+	sz := t.Size()
+	out := make([]byte, sz*len(vals))
+	for i, v := range vals {
+		PutFloat64(t, out[i*sz:], v)
+	}
+	return out
+}
+
+// DecodeFloat64s reads n consecutive t-typed elements from p.
+func DecodeFloat64s(t T, p []byte, n int) []float64 {
+	sz := t.Size()
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = Float64At(t, p[i*sz:])
+	}
+	return out
+}

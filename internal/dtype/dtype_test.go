@@ -1,0 +1,176 @@
+package dtype
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var all = []T{Int32, Int64, Float32, Float64, Complex64, Complex128}
+
+func TestSizes(t *testing.T) {
+	want := map[T]int{
+		Int32: 4, Int64: 8, Float32: 4, Float64: 8, Complex64: 8, Complex128: 16,
+	}
+	for dt, w := range want {
+		if dt.Size() != w {
+			t.Errorf("%v size = %d, want %d", dt, dt.Size(), w)
+		}
+		if !dt.Valid() {
+			t.Errorf("%v not valid", dt)
+		}
+	}
+	if Invalid.Size() != 0 || Invalid.Valid() {
+		t.Error("Invalid misbehaves")
+	}
+	if T(99).Size() != 0 {
+		t.Error("unknown type has a size")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, dt := range all {
+		got, err := Parse(dt.String())
+		if err != nil || got != dt {
+			t.Errorf("Parse(%q) = %v, %v", dt.String(), got, err)
+		}
+	}
+	if _, err := Parse("float128"); err == nil {
+		t.Error("unknown name parsed")
+	}
+	if s := T(99).String(); s == "" {
+		t.Error("unknown type has empty String")
+	}
+}
+
+func TestFloat64RoundTrips(t *testing.T) {
+	// Values kept within int32 range: float->integer conversion is
+	// implementation-defined when out of range, so we don't test that.
+	cases := []float64{0, 1, -1, 0.5, 1.25e6, -7.75e-3}
+	for _, dt := range all {
+		for _, v := range cases {
+			buf := make([]byte, dt.Size())
+			PutFloat64(dt, buf, v)
+			got := Float64At(dt, buf)
+			want := v
+			switch dt {
+			case Int32, Int64:
+				want = float64(int64(v))
+			case Float32, Complex64:
+				want = float64(float32(v))
+			}
+			if got != want {
+				t.Errorf("%v round trip of %v = %v, want %v", dt, v, got, want)
+			}
+		}
+	}
+}
+
+func TestIntegerTruncation(t *testing.T) {
+	buf := make([]byte, 4)
+	PutFloat64(Int32, buf, 3.9)
+	if got := Float64At(Int32, buf); got != 3 {
+		t.Errorf("int32 truncation = %v", got)
+	}
+	PutFloat64(Int32, buf, -2.5)
+	if got := Float64At(Int32, buf); got != -2 {
+		t.Errorf("negative truncation = %v", got)
+	}
+}
+
+func TestComplexRoundTrips(t *testing.T) {
+	v := complex(1.5, -2.25)
+	for _, dt := range []T{Complex64, Complex128} {
+		buf := make([]byte, dt.Size())
+		PutComplex(dt, buf, v)
+		got := ComplexAt(dt, buf)
+		if got != v {
+			t.Errorf("%v complex round trip = %v", dt, got)
+		}
+		// Real part via Float64At.
+		if Float64At(dt, buf) != 1.5 {
+			t.Errorf("%v real part = %v", dt, Float64At(dt, buf))
+		}
+	}
+	// Real types drop the imaginary part.
+	buf := make([]byte, 8)
+	PutComplex(Float64, buf, v)
+	if got := ComplexAt(Float64, buf); got != complex(1.5, 0) {
+		t.Errorf("real-type complex = %v", got)
+	}
+}
+
+func TestComplexSumPreservesImaginary(t *testing.T) {
+	buf := make([]byte, 16)
+	PutComplex(Complex128, buf, complex(1, 2))
+	got := ComplexAt(Complex128, buf)
+	if imag(got) != 2 {
+		t.Fatalf("imag lost: %v", got)
+	}
+	// PutFloat64 on a complex type zeroes the imaginary part (documented).
+	PutFloat64(Complex128, buf, 7)
+	if got := ComplexAt(Complex128, buf); got != complex(7, 0) {
+		t.Fatalf("PutFloat64 on complex = %v", got)
+	}
+}
+
+func TestEncodeDecodeSlices(t *testing.T) {
+	vals := []float64{1, 2.5, -3, 0}
+	for _, dt := range all {
+		blob := EncodeFloat64s(dt, vals)
+		if len(blob) != dt.Size()*len(vals) {
+			t.Errorf("%v encode length = %d", dt, len(blob))
+		}
+		got := DecodeFloat64s(dt, blob, len(vals))
+		for i := range vals {
+			want := vals[i]
+			switch dt {
+			case Int32, Int64:
+				want = float64(int64(vals[i]))
+			case Float32, Complex64:
+				want = float64(float32(vals[i]))
+			}
+			if got[i] != want {
+				t.Errorf("%v[%d] = %v, want %v", dt, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestPanicsOnInvalid(t *testing.T) {
+	for _, fn := range []func(){
+		func() { PutFloat64(Invalid, make([]byte, 8), 1) },
+		func() { Float64At(Invalid, make([]byte, 8)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on Invalid")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickFloat64Exact(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN != NaN; compare bits instead
+		}
+		buf := make([]byte, 8)
+		PutFloat64(Float64, buf, v)
+		return Float64At(Float64, buf) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNaNBitsPreserved(t *testing.T) {
+	buf := make([]byte, 8)
+	PutFloat64(Float64, buf, math.NaN())
+	if !math.IsNaN(Float64At(Float64, buf)) {
+		t.Fatal("NaN not preserved")
+	}
+}

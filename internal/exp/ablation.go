@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+
+	"drxmp/internal/order"
+	"drxmp/internal/report"
+	"drxmp/internal/workload"
+)
+
+// E11LayoutAblation quantifies Fig. 2: drive every allocation scheme
+// through the same arbitrary growth schedule and account what each one
+// must give up — refused extensions, over-allocation (Z-order's
+// doubling), allocation holes (shell out-of-cycle growth), or data
+// movement (row-major reorganization). The axial scheme is the only
+// one that follows the schedule exactly with zero waste and zero moves.
+func E11LayoutAblation(sc Scale) []*report.Table {
+	steps := sc.pick(12, 24)
+	sched := workload.RandomSchedule(2, steps, 3, 2024)
+	t := report.New(fmt.Sprintf("E11: layout ablation under an arbitrary %d-step growth schedule", steps),
+		"scheme", "final bounds", "cells wanted", "cells allocated", "waste", "cells moved", "refused steps")
+
+	// The demanded bounds after the schedule.
+	want := []int{2, 2}
+	for _, s := range sched {
+		want[s.Dim] += s.By
+	}
+	wanted := int64(want[0]) * int64(want[1])
+
+	// --- axial ---
+	{
+		ax, _ := order.NewAxial([]int{2, 2})
+		refused := 0
+		for _, s := range sched {
+			if err := ax.Extend(s.Dim, s.By); err != nil {
+				refused++
+			}
+		}
+		b := ax.Bounds()
+		t.AddRow("axial", fmt.Sprintf("%dx%d", b[0], b[1]), wanted, ax.Span(),
+			ax.Span()-int64(b[0])*int64(b[1]), 0, refused)
+	}
+	// --- row-major: refused for dim != 0; when refused, a real system
+	// reorganizes — account the moved cells instead.
+	{
+		rm := order.NewRowMajor([]int{2, 2})
+		var moved int64
+		refused := 0
+		bounds := []int{2, 2}
+		for _, s := range sched {
+			if err := rm.Extend(s.Dim, s.By); err != nil {
+				// Reorganization: every existing cell relocates.
+				moved += int64(bounds[0]) * int64(bounds[1])
+				refused++
+				bounds[s.Dim] += s.By
+				rm = order.NewRowMajor(bounds)
+				continue
+			}
+			bounds[s.Dim] += s.By
+		}
+		t.AddRow("row-major", fmt.Sprintf("%dx%d", bounds[0], bounds[1]), wanted,
+			int64(bounds[0])*int64(bounds[1]), 0, moved, refused)
+	}
+	// --- z-order: can only double cyclically; grow (by doubling) until
+	// each demanded bound is covered, and count over-allocation.
+	{
+		m, _ := order.NewMorton([]int{2, 2})
+		for {
+			b := m.Bounds()
+			if b[0] >= want[0] && b[1] >= want[1] {
+				break
+			}
+			// Double the next dimension in the cycle.
+			for dim := 0; dim < 2; dim++ {
+				bb := m.Bounds()
+				if err := m.Extend(dim, bb[dim]); err == nil {
+					break
+				}
+			}
+		}
+		b := m.Bounds()
+		alloc := int64(b[0]) * int64(b[1])
+		t.AddRow("z-order", fmt.Sprintf("%dx%d", b[0], b[1]), wanted, alloc, alloc-wanted, 0, 0)
+	}
+	// --- symmetric shell: accepts every step but off-cycle growth
+	// leaves holes.
+	{
+		sh, _ := order.NewSymmetricShell(2, 2)
+		for _, s := range sched {
+			_ = sh.Extend(s.Dim, s.By)
+		}
+		b := sh.Bounds()
+		t.AddRow("symmetric-shell", fmt.Sprintf("%dx%d", b[0], b[1]), wanted, sh.Span(), sh.Waste(), 0, 0)
+	}
+	t.AddNote("axial: exact allocation, nothing moved, nothing refused — the Fig. 2d property")
+	return []*report.Table{t}
+}

@@ -1,0 +1,259 @@
+package hdf5sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+)
+
+func create(t *testing.T, opts Options) *Store {
+	t.Helper()
+	if opts.DType == dtype.Invalid {
+		opts.DType = dtype.Float64
+	}
+	s, err := Create("t", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestCreateValidation(t *testing.T) {
+	bad := []Options{
+		{DType: dtype.Invalid, ChunkShape: []int{2}, Bounds: []int{4}},
+		{DType: dtype.Float64, ChunkShape: []int{0}, Bounds: []int{4}},
+		{DType: dtype.Float64, ChunkShape: []int{2, 2}, Bounds: []int{4}},
+		{DType: dtype.Float64, ChunkShape: []int{2}, Bounds: []int{4}, Fanout: 2},
+	}
+	for i, o := range bad {
+		if _, err := Create("t", o); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSetAtRoundTrip(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{2, 3}, Bounds: []int{10, 10}})
+	if err := s.Set([]int{3, 7}, 9.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.At([]int{3, 7}); err != nil || v != 9.5 {
+		t.Fatalf("At = %v, %v", v, err)
+	}
+	// Unwritten chunks read as fill (zero).
+	if v, err := s.At([]int{9, 0}); err != nil || v != 0 {
+		t.Fatalf("fill = %v, %v", v, err)
+	}
+	if _, err := s.At([]int{10, 0}); err == nil {
+		t.Error("out-of-bounds At accepted")
+	}
+}
+
+func TestBoxRoundTripBothOrders(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{3, 2}, Bounds: []int{8, 9}})
+	box := grid.NewBox([]int{1, 2}, []int{7, 8})
+	vals := make([]float64, box.Volume())
+	for i := range vals {
+		vals[i] = float64(i) + 0.5
+	}
+	if err := s.WriteBox(box, dtype.EncodeFloat64s(dtype.Float64, vals), grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, box.Volume()*8)
+	if err := s.ReadBox(box, back, grid.RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dtype.DecodeFloat64s(dtype.Float64, back, len(vals)), vals) {
+		t.Fatal("row-major round trip mismatch")
+	}
+	colBuf := make([]byte, box.Volume()*8)
+	if err := s.ReadBox(box, colBuf, grid.ColMajor); err != nil {
+		t.Fatal(err)
+	}
+	sh := box.Shape()
+	box.Iterate(grid.RowMajor, func(idx []int) bool {
+		rel := []int{idx[0] - box.Lo[0], idx[1] - box.Lo[1]}
+		rv := vals[grid.Offset(sh, rel, grid.RowMajor)]
+		cv := dtype.Float64At(dtype.Float64, colBuf[grid.Offset(sh, rel, grid.ColMajor)*8:])
+		if rv != cv {
+			t.Fatalf("order mismatch at %v", idx)
+		}
+		return true
+	})
+}
+
+func TestExtendAnyDimCheap(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{2, 2}, Bounds: []int{4, 4}})
+	if err := s.Set([]int{3, 3}, 7); err != nil {
+		t.Fatal(err)
+	}
+	dataBytes := s.DataFS().Stats().Bytes()
+	if err := s.Extend(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Extend(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DataFS().Stats().Bytes(); got != dataBytes {
+		t.Fatalf("extension moved %d data bytes", got-dataBytes)
+	}
+	if got := s.Bounds(); !reflect.DeepEqual(got, []int{14, 14}) {
+		t.Fatalf("bounds = %v", got)
+	}
+	if v, _ := s.At([]int{3, 3}); v != 7 {
+		t.Fatalf("value lost on extension: %v", v)
+	}
+	if err := s.Extend(2, 1); err == nil {
+		t.Error("bad dim accepted")
+	}
+	if err := s.Extend(0, 0); err == nil {
+		t.Error("zero extension accepted")
+	}
+}
+
+// TestBTreeInvariantsUnderLoad inserts many chunks in a scattered order
+// and validates the tree after every batch.
+func TestBTreeInvariantsUnderLoad(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{1, 1}, Bounds: []int{64, 64}, Fanout: 4})
+	rng := rand.New(rand.NewSource(8))
+	perm := rng.Perm(64 * 64)
+	for i, p := range perm[:512] {
+		idx := []int{p / 64, p % 64}
+		if err := s.Set(idx, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 0 {
+			if err := s.CheckTree(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if err := s.CheckTree(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Splits == 0 || st.Height < 3 {
+		t.Fatalf("tree too small for the load: %+v", st)
+	}
+	// Every inserted value must be retrievable.
+	for i, p := range perm[:512] {
+		idx := []int{p / 64, p % 64}
+		if v, _ := s.At(idx); v != float64(i) {
+			t.Fatalf("value at %v = %v, want %d", idx, v, i)
+		}
+	}
+}
+
+// TestIndexCostGrows: the per-access index I/O grows with the chunk
+// count — the structural contrast with computed addressing (E3).
+func TestIndexCostGrows(t *testing.T) {
+	mk := func(chunks int) int64 {
+		s := create(t, Options{ChunkShape: []int{1}, Bounds: []int{100000}, Fanout: 8})
+		for i := 0; i < chunks; i++ {
+			if err := s.Set([]int{i}, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.IndexFS().ResetStats()
+		before := s.Stats().NodeReads
+		for i := 0; i < 100; i++ {
+			if _, err := s.At([]int{i * chunks / 100}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.Stats().NodeReads - before
+	}
+	small := mk(32)
+	large := mk(4096)
+	if large <= small {
+		t.Fatalf("index probes: %d at 4096 chunks vs %d at 32: expected growth", large, small)
+	}
+}
+
+func TestQuickRandomBoxes(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{2, 3}, Bounds: []int{20, 20}})
+	shadow := make([]float64, 20*20)
+	prop := func(l0, l1, s0, s1 uint8, val int16) bool {
+		lo := []int{int(l0) % 20, int(l1) % 20}
+		hi := []int{lo[0] + 1 + int(s0)%(20-lo[0]), lo[1] + 1 + int(s1)%(20-lo[1])}
+		box := grid.NewBox(lo, hi)
+		vals := make([]float64, box.Volume())
+		at := 0
+		box.Iterate(grid.RowMajor, func(idx []int) bool {
+			vals[at] = float64(val) + float64(at)
+			shadow[idx[0]*20+idx[1]] = vals[at]
+			at++
+			return true
+		})
+		if err := s.WriteBox(box, dtype.EncodeFloat64s(dtype.Float64, vals), grid.RowMajor); err != nil {
+			return false
+		}
+		// Read the full array and compare with the shadow.
+		full := grid.BoxOf(grid.Shape{20, 20})
+		buf := make([]byte, full.Volume()*8)
+		if err := s.ReadBox(full, buf, grid.RowMajor); err != nil {
+			return false
+		}
+		for i := range shadow {
+			if dtype.Float64At(dtype.Float64, buf[i*8:]) != shadow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	if err := s.CheckTree(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxValidation(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{2, 2}, Bounds: []int{4, 4}})
+	if err := s.ReadBox(grid.NewBox([]int{0}, []int{1}), make([]byte, 8), grid.RowMajor); err == nil {
+		t.Error("rank mismatch accepted")
+	}
+	if err := s.ReadBox(grid.NewBox([]int{0, 0}, []int{5, 1}), make([]byte, 40), grid.RowMajor); err == nil {
+		t.Error("out-of-bounds accepted")
+	}
+	if err := s.ReadBox(grid.NewBox([]int{0, 0}, []int{2, 2}), make([]byte, 8), grid.RowMajor); err == nil {
+		t.Error("short buffer accepted")
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	s := create(t, Options{ChunkShape: []int{2, 2}, Bounds: []int{8, 8}, Fanout: 4})
+	for i := 0; i < 8; i++ {
+		if err := s.Set([]int{i, i}, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Lookups == 0 || st.NodeReads == 0 || st.NodeWrites == 0 || st.Nodes < 1 {
+		t.Fatalf("stats not populated: %+v", st)
+	}
+	// Index I/O must have been charged to the index file.
+	if s.IndexFS().Stats().Bytes() == 0 {
+		t.Fatal("index I/O not charged")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	s, _ := Create("b", Options{DType: dtype.Float64, ChunkShape: []int{1}, Bounds: []int{1 << 20}, Fanout: 16})
+	for i := 0; i < 10000; i++ {
+		if err := s.Set([]int{i * 100}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.lookup(key{(i % 10000) * 100})
+	}
+}

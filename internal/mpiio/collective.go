@@ -1,0 +1,337 @@
+package mpiio
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"drxmp/internal/pfs"
+)
+
+// Two-phase collective I/O (the ROMIO technique referenced through the
+// paper's citation [25], "Noncontiguous I/O accesses through MPI-IO").
+//
+// Phase assignment: the byte range touched by any process is split into
+// stripe-aligned aggregation domains, one per process. In a read, each
+// aggregator fetches its domain's covered span with large contiguous
+// requests and ships the pieces wanted by each process; in a write, each
+// process ships its pieces to the owning aggregators, which
+// read-modify-write their domain span with large contiguous requests.
+// This turns many small interleaved requests into a few streaming ones —
+// exactly the effect experiment E5 measures against independent I/O.
+
+// ReadAllAt is the collective read: every rank of the communicator must
+// call it (ranks with nothing to read pass an empty buf). Each rank
+// reads len(buf) view bytes at its own viewOff through its own view.
+func (f *File) ReadAllAt(buf []byte, viewOff int64) error {
+	return f.collective(buf, viewOff, false)
+}
+
+// WriteAllAt is the collective write counterpart of ReadAllAt.
+func (f *File) WriteAllAt(buf []byte, viewOff int64) error {
+	return f.collective(buf, viewOff, true)
+}
+
+func (f *File) collective(buf []byte, viewOff int64, write bool) error {
+	if viewOff < 0 {
+		return fmt.Errorf("mpiio: negative view offset %d", viewOff)
+	}
+	var myRuns []pfs.Run
+	if len(buf) > 0 {
+		myRuns = f.runsFor(viewOff, int64(len(buf)))
+	}
+	all, err := f.comm.Allgather(encodeRuns(myRuns))
+	if err != nil {
+		return err
+	}
+	runsByRank := make([][]pfs.Run, len(all))
+	lo, hi := int64(-1), int64(-1)
+	for r, blob := range all {
+		rr, err := decodeRuns(blob)
+		if err != nil {
+			return err
+		}
+		runsByRank[r] = rr
+		for _, run := range rr {
+			if lo < 0 || run.Off < lo {
+				lo = run.Off
+			}
+			if run.Off+run.Len > hi {
+				hi = run.Off + run.Len
+			}
+		}
+	}
+	if lo < 0 { // nobody transfers anything
+		return nil
+	}
+
+	dom := f.domains(lo, hi)
+	size := f.comm.Size()
+	me := f.comm.Rank()
+
+	if write {
+		// Phase 1: ship my bytes to the owning aggregators, split at
+		// domain boundaries, in my run order.
+		send := make([][]byte, size)
+		var cursor int64
+		for _, run := range myRuns {
+			for _, piece := range dom.split(run) {
+				send[piece.owner] = append(send[piece.owner], buf[cursor:cursor+piece.run.Len]...)
+				cursor += piece.run.Len
+			}
+		}
+		recv, err := f.comm.Alltoallv(send)
+		if err != nil {
+			return err
+		}
+		// Phase 2: as aggregator for domain `me`, overlay the received
+		// pieces onto the covered span and write it back with large
+		// contiguous requests. All ranks agree on the outcome so a
+		// server failure surfaces on every member of the collective.
+		return f.agree(f.aggregateWrite(dom, runsByRank, recv))
+	}
+
+	// Read. Phase 1: as aggregator, fetch my domain's covered span and
+	// carve out each rank's pieces. Ranks must agree on failure before
+	// the exchange phase: a rank that aborted here would otherwise
+	// leave its peers blocked in Alltoallv forever.
+	span, data, err := f.aggregateRead(dom, runsByRank)
+	if err = f.agree(err); err != nil {
+		return err
+	}
+	send := make([][]byte, size)
+	for r, rr := range runsByRank {
+		for _, run := range rr {
+			for _, piece := range dom.split(run) {
+				if piece.owner != me {
+					continue
+				}
+				o := piece.run.Off - span.Off
+				send[r] = append(send[r], data[o:o+piece.run.Len]...)
+			}
+		}
+	}
+	recv, err := f.comm.Alltoallv(send)
+	if err != nil {
+		return err
+	}
+	// Phase 2: reassemble my buffer, consuming each aggregator's payload
+	// in run order (both sides walk the runs in the same order).
+	cursors := make([]int64, size)
+	var at int64
+	for _, run := range myRuns {
+		for _, piece := range dom.split(run) {
+			p := recv[piece.owner]
+			c := cursors[piece.owner]
+			if c+piece.run.Len > int64(len(p)) {
+				return errors.New("mpiio: collective read reassembly underflow")
+			}
+			copy(buf[at:at+piece.run.Len], p[c:c+piece.run.Len])
+			cursors[piece.owner] = c + piece.run.Len
+			at += piece.run.Len
+		}
+	}
+	return nil
+}
+
+// agree is the error-agreement round of a collective operation: if the
+// local phase failed on any rank, every rank returns an error (the
+// local one where present, a peer report otherwise). Without this a
+// rank that aborts between exchange phases would leave its peers
+// blocked waiting for messages that will never arrive.
+func (f *File) agree(opErr error) error {
+	flag := []byte{0}
+	if opErr != nil {
+		flag[0] = 1
+	}
+	all, err := f.comm.Allgather(flag)
+	if err != nil {
+		if opErr != nil {
+			return opErr
+		}
+		return err
+	}
+	for r, b := range all {
+		if len(b) == 1 && b[0] != 0 {
+			if opErr != nil {
+				return opErr
+			}
+			return fmt.Errorf("mpiio: collective aborted: I/O failure on rank %d", r)
+		}
+	}
+	return opErr
+}
+
+// domains describes the stripe-aligned aggregation domains of one
+// collective operation.
+type domains struct {
+	lo  int64 // aligned start
+	per int64 // bytes per domain (stripe multiple)
+	n   int   // number of aggregators (== comm size)
+}
+
+func (f *File) domains(lo, hi int64) domains {
+	stripe := f.fs.StripeSize()
+	n := f.comm.Size()
+	alo := (lo / stripe) * stripe
+	span := hi - alo
+	per := (span + int64(n) - 1) / int64(n)
+	per = ((per + stripe - 1) / stripe) * stripe
+	if per < stripe {
+		per = stripe
+	}
+	return domains{lo: alo, per: per, n: n}
+}
+
+// piece is a run fragment assigned to one aggregation domain.
+type piece struct {
+	owner int
+	run   pfs.Run
+}
+
+// split cuts a run at domain boundaries, in offset order.
+func (d domains) split(run pfs.Run) []piece {
+	var out []piece
+	off, remaining := run.Off, run.Len
+	for remaining > 0 {
+		owner := int((off - d.lo) / d.per)
+		if owner >= d.n {
+			owner = d.n - 1
+		}
+		var end int64
+		if owner == d.n-1 {
+			end = off + remaining // last domain takes the tail
+		} else {
+			end = d.lo + int64(owner+1)*d.per
+		}
+		take := end - off
+		if take > remaining {
+			take = remaining
+		}
+		out = append(out, piece{owner: owner, run: pfs.Run{Off: off, Len: take}})
+		off += take
+		remaining -= take
+	}
+	return out
+}
+
+// coveredSpan returns the minimal contiguous extent of domain `owner`
+// touched by any rank's runs (empty Run with Len 0 if none).
+func (d domains) coveredSpan(owner int, runsByRank [][]pfs.Run) pfs.Run {
+	var a, b int64 = -1, -1
+	for _, rr := range runsByRank {
+		for _, run := range rr {
+			for _, p := range d.split(run) {
+				if p.owner != owner {
+					continue
+				}
+				if a < 0 || p.run.Off < a {
+					a = p.run.Off
+				}
+				if p.run.Off+p.run.Len > b {
+					b = p.run.Off + p.run.Len
+				}
+			}
+		}
+	}
+	if a < 0 {
+		return pfs.Run{}
+	}
+	return pfs.Run{Off: a, Len: b - a}
+}
+
+// aggregateRead performs this rank's phase-1 read: the covered span of
+// its domain, fetched with requests capped by CollectiveBufferSize.
+func (f *File) aggregateRead(dom domains, runsByRank [][]pfs.Run) (pfs.Run, []byte, error) {
+	span := dom.coveredSpan(f.comm.Rank(), runsByRank)
+	if span.Len == 0 {
+		return span, nil, nil
+	}
+	data := make([]byte, span.Len)
+	cb := f.CollectiveBufferSize
+	if cb <= 0 {
+		cb = span.Len
+	}
+	for off := int64(0); off < span.Len; off += cb {
+		n := cb
+		if off+n > span.Len {
+			n = span.Len - off
+		}
+		if _, err := f.fs.ReadAt(data[off:off+n], span.Off+off); err != nil {
+			return span, nil, err
+		}
+	}
+	return span, data, nil
+}
+
+// aggregateWrite overlays every rank's pieces for this rank's domain
+// onto the covered span (read-modify-write) and writes it back with
+// large contiguous requests. Overlapping writes resolve in rank order
+// (higher rank wins), a deterministic refinement of MPI's "undefined".
+func (f *File) aggregateWrite(dom domains, runsByRank [][]pfs.Run, recv [][]byte) error {
+	me := f.comm.Rank()
+	span, data, err := f.aggregateRead(dom, runsByRank)
+	if err != nil {
+		return err
+	}
+	if span.Len == 0 {
+		return nil
+	}
+	for r, rr := range runsByRank {
+		var cursor int64
+		payload := recv[r]
+		for _, run := range rr {
+			for _, p := range dom.split(run) {
+				if p.owner != me {
+					continue
+				}
+				if cursor+p.run.Len > int64(len(payload)) {
+					return errors.New("mpiio: collective write overlay underflow")
+				}
+				o := p.run.Off - span.Off
+				copy(data[o:o+p.run.Len], payload[cursor:cursor+p.run.Len])
+				cursor += p.run.Len
+			}
+		}
+	}
+	cb := f.CollectiveBufferSize
+	if cb <= 0 {
+		cb = span.Len
+	}
+	for off := int64(0); off < span.Len; off += cb {
+		n := cb
+		if off+n > span.Len {
+			n = span.Len - off
+		}
+		if _, err := f.fs.WriteAt(data[off:off+n], span.Off+off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- run wire encoding (fixed 16 bytes per run) ---
+
+func encodeRuns(runs []pfs.Run) []byte {
+	out := make([]byte, 0, len(runs)*16)
+	for _, r := range runs {
+		out = binary.LittleEndian.AppendUint64(out, uint64(r.Off))
+		out = binary.LittleEndian.AppendUint64(out, uint64(r.Len))
+	}
+	return out
+}
+
+func decodeRuns(b []byte) ([]pfs.Run, error) {
+	if len(b)%16 != 0 {
+		return nil, fmt.Errorf("mpiio: run list of %d bytes", len(b))
+	}
+	runs := make([]pfs.Run, len(b)/16)
+	for i := range runs {
+		runs[i].Off = int64(binary.LittleEndian.Uint64(b[i*16:]))
+		runs[i].Len = int64(binary.LittleEndian.Uint64(b[i*16+8:]))
+		if runs[i].Off < 0 || runs[i].Len <= 0 {
+			return nil, fmt.Errorf("mpiio: invalid run %+v", runs[i])
+		}
+	}
+	return runs, nil
+}

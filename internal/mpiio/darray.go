@@ -1,0 +1,50 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"drxmp/internal/grid"
+	"drxmp/internal/zone"
+)
+
+// Darray builds the filetype describing one process's share of a dense
+// k-dimensional array distributed over a process grid — the analogue of
+// MPI_Type_create_darray, which is how MPI codes (and the paper's DRA
+// interface) express HPF-style BLOCK / BLOCK_CYCLIC(k) file views.
+//
+// The array has the given element-space shape, stored dense in
+// `order` with elemSize-byte elements; d supplies the decomposition
+// (process grid, kind, cyclic block size) over a *chunk* space that
+// must here equal the element space (chunk shape 1×...×1 — for chunked
+// files use the drxmp section API instead, which works in chunk units).
+// The returned datatype's extent is the full array, so tiling works as
+// with any filetype.
+func Darray(d *zone.Decomp, rank int, shape grid.Shape, elemSize int64, order grid.Order) (Datatype, error) {
+	if elemSize < 1 {
+		return Datatype{}, fmt.Errorf("mpiio: element size %d", elemSize)
+	}
+	boxes := d.ZoneOf(rank)
+	if len(boxes) == 0 {
+		return Datatype{}, fmt.Errorf("mpiio: rank %d owns nothing in %v", rank, shape)
+	}
+	strides := grid.Strides(shape, order)
+	var blocks []Block
+	for _, b := range boxes {
+		if !grid.BoxOf(shape).ContainsBox(b) {
+			return Datatype{}, fmt.Errorf("mpiio: zone %v outside array %v", b, shape)
+		}
+		b.Rows(order, func(start []int, n int) bool {
+			var off int64
+			for i, s := range start {
+				off += int64(s) * strides[i]
+			}
+			blocks = append(blocks, Block{Off: off * elemSize, Len: int64(n) * elemSize})
+			return true
+		})
+	}
+	dt, err := build(blocks, shape.Volume()*elemSize)
+	if err != nil {
+		return Datatype{}, err
+	}
+	return dt, nil
+}

@@ -1,0 +1,39 @@
+package mpool_test
+
+import (
+	"fmt"
+
+	"drxmp/internal/mpool"
+)
+
+// sliceBacking is a trivial in-memory page store for the example.
+type sliceBacking struct{ pages map[int64][]byte }
+
+func (b *sliceBacking) ReadPage(id int64, buf []byte) error {
+	copy(buf, b.pages[id])
+	return nil
+}
+
+func (b *sliceBacking) WritePage(id int64, buf []byte) error {
+	b.pages[id] = append([]byte(nil), buf...)
+	return nil
+}
+
+// Example demonstrates the pin/dirty/flush protocol the drx library
+// drives for every chunk access.
+func Example() {
+	backing := &sliceBacking{pages: map[int64][]byte{}}
+	pool, _ := mpool.New(4, 8, backing)
+
+	// The chunk's page id is its computed linear address F*(index) —
+	// no index structure sits between the array and its cache.
+	const pageID = 42
+	buf, _ := pool.GetZero(pageID)
+	copy(buf, []byte{1, 2, 3, 4})
+	_ = pool.MarkDirty(pageID)
+	_ = pool.Put(pageID)
+	_ = pool.Flush()
+
+	fmt.Println(backing.pages[pageID])
+	// Output: [1 2 3 4]
+}

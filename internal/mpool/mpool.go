@@ -1,0 +1,221 @@
+// Package mpool is a fixed-capacity buffer pool with LRU replacement,
+// pinning and dirty write-back — the stand-in for the BerkeleyDB Mpool
+// subsystem the paper's serial DRX library uses for I/O caching of
+// chunks.
+//
+// Pages are identified by an int64 id (the DRX libraries use the chunk's
+// linear address F*(I) as the page id, which is exactly the "computed
+// access ... equivalent to a hashing scheme" the paper highlights: the
+// cache key is derived arithmetically, no index structure is needed).
+package mpool
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Backing abstracts the store behind the pool (the chunk file).
+type Backing interface {
+	// ReadPage fills buf with page id's content.
+	ReadPage(id int64, buf []byte) error
+	// WritePage persists buf as page id's content.
+	WritePage(id int64, buf []byte) error
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64
+}
+
+type frame struct {
+	id    int64
+	buf   []byte
+	dirty bool
+	pins  int
+	lru   *list.Element // nil while pinned (not evictable)
+}
+
+// Pool is the buffer pool. All methods are safe for concurrent use.
+type Pool struct {
+	pageSize int
+	capacity int
+	backing  Backing
+
+	mu     sync.Mutex
+	frames map[int64]*frame
+	lru    *list.List // of int64 page ids, front = most recent
+	stats  Stats
+}
+
+// New creates a pool of `capacity` pages of `pageSize` bytes over the
+// given backing store.
+func New(pageSize, capacity int, backing Backing) (*Pool, error) {
+	if pageSize < 1 || capacity < 1 {
+		return nil, fmt.Errorf("mpool: pageSize %d capacity %d", pageSize, capacity)
+	}
+	if backing == nil {
+		return nil, errors.New("mpool: nil backing")
+	}
+	return &Pool{
+		pageSize: pageSize,
+		capacity: capacity,
+		backing:  backing,
+		frames:   map[int64]*frame{},
+		lru:      list.New(),
+	}, nil
+}
+
+// PageSize returns the configured page size.
+func (p *Pool) PageSize() int { return p.pageSize }
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Get pins page id and returns its buffer. The caller may read and —
+// if it calls MarkDirty — mutate the buffer, and must Put it when done.
+// A missing page is faulted in from the backing store, evicting the
+// least-recently-used unpinned page if the pool is full.
+func (p *Pool) Get(id int64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.pinLocked(f)
+		return f.buf, nil
+	}
+	p.stats.Misses++
+	f, err := p.allocLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	// Fault in outside the lock would allow races on the same page;
+	// keep it simple and correct: read under the lock (the pool is a
+	// serial-library cache; contention is not the concern here).
+	if err := p.backing.ReadPage(id, f.buf); err != nil {
+		delete(p.frames, id)
+		return nil, err
+	}
+	p.pinLocked(f)
+	return f.buf, nil
+}
+
+// GetZero pins page id without faulting from the backing store,
+// returning a zeroed buffer. Used when the caller will overwrite the
+// entire page (avoids a pointless read of a brand-new chunk).
+func (p *Pool) GetZero(id int64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.frames[id]; ok {
+		p.stats.Hits++
+		p.pinLocked(f)
+		return f.buf, nil
+	}
+	p.stats.Misses++
+	f, err := p.allocLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	p.pinLocked(f)
+	return f.buf, nil
+}
+
+func (p *Pool) pinLocked(f *frame) {
+	f.pins++
+	if f.lru != nil {
+		p.lru.Remove(f.lru)
+		f.lru = nil
+	}
+}
+
+// allocLocked finds a free frame (evicting if needed) and installs an
+// empty zeroed frame for id.
+func (p *Pool) allocLocked(id int64) (*frame, error) {
+	if len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, buf: make([]byte, p.pageSize)}
+	p.frames[id] = f
+	return f, nil
+}
+
+func (p *Pool) evictLocked() error {
+	back := p.lru.Back()
+	if back == nil {
+		return errors.New("mpool: all pages pinned")
+	}
+	victimID := back.Value.(int64)
+	f := p.frames[victimID]
+	if f.dirty {
+		if err := p.backing.WritePage(f.id, f.buf); err != nil {
+			return fmt.Errorf("mpool: write-back of page %d: %w", f.id, err)
+		}
+		p.stats.WriteBacks++
+	}
+	p.lru.Remove(back)
+	delete(p.frames, victimID)
+	p.stats.Evictions++
+	return nil
+}
+
+// MarkDirty flags a pinned page as modified; it will be written back on
+// eviction or Flush.
+func (p *Pool) MarkDirty(id int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins == 0 {
+		return fmt.Errorf("mpool: MarkDirty of unpinned page %d", id)
+	}
+	f.dirty = true
+	return nil
+}
+
+// Put unpins a page previously returned by Get/GetZero.
+func (p *Pool) Put(id int64) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, ok := p.frames[id]
+	if !ok || f.pins == 0 {
+		return fmt.Errorf("mpool: Put of unpinned page %d", id)
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lru = p.lru.PushFront(f.id)
+	}
+	return nil
+}
+
+// Flush writes back every dirty page (pinned or not) without evicting.
+func (p *Pool) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if !f.dirty {
+			continue
+		}
+		if err := p.backing.WritePage(f.id, f.buf); err != nil {
+			return fmt.Errorf("mpool: flush of page %d: %w", f.id, err)
+		}
+		f.dirty = false
+		p.stats.WriteBacks++
+	}
+	return nil
+}
+
+// Len returns the number of resident pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}

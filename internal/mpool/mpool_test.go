@@ -1,0 +1,396 @@
+package mpool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// memBacking is a map-backed page store that records I/O.
+type memBacking struct {
+	mu     sync.Mutex
+	pages  map[int64][]byte
+	reads  int
+	writes int
+	failRd bool
+	failWr bool
+}
+
+func newBacking() *memBacking { return &memBacking{pages: map[int64][]byte{}} }
+
+func (b *memBacking) ReadPage(id int64, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failRd {
+		return errors.New("injected read failure")
+	}
+	b.reads++
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf, b.pages[id])
+	return nil
+}
+
+func (b *memBacking) WritePage(id int64, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failWr {
+		return errors.New("injected write failure")
+	}
+	b.writes++
+	b.pages[id] = append([]byte(nil), buf...)
+	return nil
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, newBacking()); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := New(8, 0, newBacking()); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(8, 4, nil); err == nil {
+		t.Error("nil backing accepted")
+	}
+}
+
+func TestGetFaultsAndCaches(t *testing.T) {
+	b := newBacking()
+	b.pages[7] = []byte{1, 2, 3, 4}
+	p, err := New(4, 2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := p.Get(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 || buf[3] != 4 {
+		t.Fatalf("page content %v", buf)
+	}
+	if err := p.Put(7); err != nil {
+		t.Fatal(err)
+	}
+	// Second access hits.
+	if _, err := p.Get(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(7); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 || b.reads != 1 {
+		t.Fatalf("stats %+v, backing reads %d", st, b.reads)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	b := newBacking()
+	p, _ := New(4, 2, b)
+	for _, id := range []int64{1, 2} {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Put(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 1 so 2 becomes LRU.
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	// Fault 3: must evict 2.
+	if _, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(3); err != nil {
+		t.Fatal(err)
+	}
+	// 1 must still hit; 2 must miss.
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(1)
+	hitsBefore := p.Stats().Hits
+	if _, err := p.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(2)
+	if p.Stats().Hits != hitsBefore {
+		t.Fatal("page 2 survived eviction")
+	}
+	if p.Stats().Evictions < 2 {
+		t.Fatalf("evictions = %d", p.Stats().Evictions)
+	}
+}
+
+func TestDirtyWriteBackOnEviction(t *testing.T) {
+	b := newBacking()
+	p, _ := New(4, 1, b)
+	buf, err := p.GetZero(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, []byte{9, 9, 9, 9})
+	if err := p.MarkDirty(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(5); err != nil {
+		t.Fatal(err)
+	}
+	// Fault another page; 5 must be written back.
+	if _, err := p.Get(6); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(6)
+	if got := b.pages[5]; len(got) != 4 || got[0] != 9 {
+		t.Fatalf("written-back page = %v", got)
+	}
+	if p.Stats().WriteBacks != 1 {
+		t.Fatalf("write-backs = %d", p.Stats().WriteBacks)
+	}
+	// Clean pages are not written back.
+	if _, err := p.Get(7); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(7)
+	if b.writes != 1 {
+		t.Fatalf("backing writes = %d", b.writes)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	b := newBacking()
+	p, _ := New(4, 4, b)
+	for id := int64(0); id < 3; id++ {
+		buf, err := p.GetZero(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[0] = byte(id + 1)
+		if err := p.MarkDirty(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Put(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for id := int64(0); id < 3; id++ {
+		if got := b.pages[id]; got[0] != byte(id+1) {
+			t.Fatalf("page %d = %v", id, got)
+		}
+	}
+	// Second flush writes nothing (pages now clean).
+	w := b.writes
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if b.writes != w {
+		t.Fatal("clean pages re-flushed")
+	}
+}
+
+func TestAllPinnedFails(t *testing.T) {
+	p, _ := New(4, 1, newBacking())
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	// Pool full, only page pinned: next fault must fail.
+	if _, err := p.Get(2); err == nil {
+		t.Fatal("eviction of pinned page succeeded")
+	}
+	if err := p.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(2); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestPinningProtects(t *testing.T) {
+	p, _ := New(4, 2, newBacking())
+	if _, err := p.Get(1); err != nil { // keep pinned
+		t.Fatal(err)
+	}
+	for id := int64(10); id < 14; id++ {
+		if _, err := p.Get(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Put(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 1 must still be resident (hit).
+	h := p.Stats().Hits
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats().Hits != h+1 {
+		t.Fatal("pinned page was evicted")
+	}
+	p.Put(1)
+	p.Put(1)
+}
+
+func TestDoublePinRefCount(t *testing.T) {
+	p, _ := New(4, 2, newBacking())
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	// Still pinned once: cannot be evicted.
+	if _, err := p.Get(2); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(2)
+	if _, err := p.Get(3); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(3)
+	if p.Len() != 2 {
+		t.Fatalf("resident = %d", p.Len())
+	}
+	if err := p.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Put(1); err == nil {
+		t.Fatal("over-unpin accepted")
+	}
+}
+
+func TestMarkDirtyValidation(t *testing.T) {
+	p, _ := New(4, 2, newBacking())
+	if err := p.MarkDirty(9); err == nil {
+		t.Error("MarkDirty of absent page accepted")
+	}
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(1)
+	if err := p.MarkDirty(1); err == nil {
+		t.Error("MarkDirty of unpinned page accepted")
+	}
+}
+
+func TestReadFailurePropagates(t *testing.T) {
+	b := newBacking()
+	b.failRd = true
+	p, _ := New(4, 2, b)
+	if _, err := p.Get(1); err == nil {
+		t.Fatal("read failure swallowed")
+	}
+	// The failed frame must not linger.
+	if p.Len() != 0 {
+		t.Fatalf("resident after failed fault = %d", p.Len())
+	}
+}
+
+func TestWriteFailurePropagates(t *testing.T) {
+	b := newBacking()
+	p, _ := New(4, 1, b)
+	buf, _ := p.GetZero(1)
+	buf[0] = 1
+	p.MarkDirty(1)
+	p.Put(1)
+	b.failWr = true
+	if _, err := p.Get(2); err == nil {
+		t.Fatal("write-back failure swallowed")
+	}
+	if err := p.Flush(); err == nil {
+		t.Fatal("flush failure swallowed")
+	}
+}
+
+func TestGetZeroOverwritesNothing(t *testing.T) {
+	b := newBacking()
+	b.pages[1] = []byte{5, 5, 5, 5}
+	p, _ := New(4, 2, b)
+	// GetZero of a *resident* page returns the cached content.
+	if _, err := p.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(1)
+	buf, err := p.GetZero(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 5 {
+		t.Fatalf("GetZero clobbered resident page: %v", buf)
+	}
+	p.Put(1)
+	// GetZero of an absent page performs no backing read.
+	r := b.reads
+	if _, err := p.GetZero(2); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(2)
+	if b.reads != r {
+		t.Fatal("GetZero read from backing")
+	}
+}
+
+func TestConcurrentGets(t *testing.T) {
+	b := newBacking()
+	for id := int64(0); id < 32; id++ {
+		b.pages[id] = []byte{byte(id), 0, 0, 0}
+	}
+	p, _ := New(4, 8, b)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := int64((g*7 + i) % 32)
+				buf, err := p.Get(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if buf[0] != byte(id) {
+					errs <- fmt.Errorf("page %d content %d", id, buf[0])
+					return
+				}
+				if err := p.Put(id); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	bk := newBacking()
+	p, _ := New(4096, 64, bk)
+	if _, err := p.Get(1); err != nil {
+		b.Fatal(err)
+	}
+	p.Put(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Get(1); err != nil {
+			b.Fatal(err)
+		}
+		p.Put(1)
+	}
+}

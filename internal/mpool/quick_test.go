@@ -1,0 +1,230 @@
+package mpool
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// shadowBacking is a map-backed page store that records every write,
+// used as the ground truth for the randomized pool property test.
+type shadowBacking struct {
+	pageSize int
+	pages    map[int64][]byte
+	reads    int
+	writes   int
+}
+
+func newShadowBacking(pageSize int) *shadowBacking {
+	return &shadowBacking{pageSize: pageSize, pages: map[int64][]byte{}}
+}
+
+func (s *shadowBacking) ReadPage(id int64, buf []byte) error {
+	s.reads++
+	if p, ok := s.pages[id]; ok {
+		copy(buf, p)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+func (s *shadowBacking) WritePage(id int64, buf []byte) error {
+	s.writes++
+	s.pages[id] = append([]byte(nil), buf...)
+	return nil
+}
+
+// TestQuickPoolMatchesShadow drives random op sequences (read page,
+// mutate+dirty, flush) through pools of random capacity and checks,
+// after a final flush, that the backing holds exactly what a plain
+// shadow array would — i.e. caching, LRU eviction and write-back are
+// invisible to correctness.
+func TestQuickPoolMatchesShadow(t *testing.T) {
+	const pageSize = 32
+	const numPages = 24
+	f := func(seed int64, capRaw uint8, opsRaw uint8) bool {
+		capacity := 1 + int(capRaw%12)
+		ops := 20 + int(opsRaw)
+		rng := rand.New(rand.NewSource(seed))
+
+		backing := newShadowBacking(pageSize)
+		pool, err := New(pageSize, capacity, backing)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		shadow := make(map[int64][]byte) // what each page should hold
+
+		for op := 0; op < ops; op++ {
+			id := int64(rng.Intn(numPages))
+			buf, err := pool.Get(id)
+			if err != nil {
+				t.Logf("get %d: %v", id, err)
+				return false
+			}
+			want := shadow[id]
+			if want == nil {
+				want = make([]byte, pageSize)
+			}
+			if !bytes.Equal(buf, want) {
+				t.Logf("page %d content mismatch after %d ops", id, op)
+				return false
+			}
+			if rng.Intn(2) == 0 { // mutate
+				pos := rng.Intn(pageSize)
+				buf[pos] = byte(rng.Intn(256))
+				if err := pool.MarkDirty(id); err != nil {
+					t.Logf("dirty %d: %v", id, err)
+					return false
+				}
+				shadow[id] = append([]byte(nil), buf...)
+			}
+			if err := pool.Put(id); err != nil {
+				t.Logf("put %d: %v", id, err)
+				return false
+			}
+			if rng.Intn(16) == 0 {
+				if err := pool.Flush(); err != nil {
+					t.Logf("flush: %v", err)
+					return false
+				}
+			}
+			if pool.Len() > capacity {
+				t.Logf("pool holds %d frames, capacity %d", pool.Len(), capacity)
+				return false
+			}
+		}
+		if err := pool.Flush(); err != nil {
+			t.Logf("final flush: %v", err)
+			return false
+		}
+		for id, want := range shadow {
+			got := backing.pages[id]
+			if got == nil {
+				got = make([]byte, pageSize)
+			}
+			if !bytes.Equal(got, want) {
+				t.Logf("backing page %d diverged from shadow", id)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPinnedNeverEvicted holds pins on a random subset of pages
+// while hammering the rest; pinned frames must keep their buffers
+// valid (same backing array) for the duration of the pin.
+func TestQuickPinnedNeverEvicted(t *testing.T) {
+	const pageSize = 16
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		backing := newShadowBacking(pageSize)
+		capacity := 4 + rng.Intn(4)
+		pool, err := New(pageSize, capacity, backing)
+		if err != nil {
+			return false
+		}
+		// Pin two pages and stamp them.
+		pinned := []int64{int64(rng.Intn(8)), int64(8 + rng.Intn(8))}
+		bufs := make([][]byte, len(pinned))
+		for i, id := range pinned {
+			b, err := pool.Get(id)
+			if err != nil {
+				return false
+			}
+			b[0] = byte(100 + i)
+			if err := pool.MarkDirty(id); err != nil {
+				return false
+			}
+			bufs[i] = b
+		}
+		// Churn through enough other pages to force evictions.
+		for n := 0; n < capacity*4; n++ {
+			id := int64(100 + n)
+			b, err := pool.Get(id)
+			if err != nil {
+				return false
+			}
+			_ = b
+			if err := pool.Put(id); err != nil {
+				return false
+			}
+		}
+		// The pinned buffers must still show the stamps.
+		for i, id := range pinned {
+			if bufs[i][0] != byte(100+i) {
+				t.Logf("pinned page %d lost its stamp", id)
+				return false
+			}
+			if err := pool.Put(id); err != nil {
+				return false
+			}
+		}
+		return pool.Flush() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFlushIdempotent: flushing twice writes each dirty page once.
+func TestQuickFlushIdempotent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		backing := newShadowBacking(8)
+		pool, err := New(8, 8, backing)
+		if err != nil {
+			return false
+		}
+		dirty := 1 + rng.Intn(6)
+		for i := 0; i < dirty; i++ {
+			b, err := pool.Get(int64(i))
+			if err != nil {
+				return false
+			}
+			b[0] = byte(i)
+			if err := pool.MarkDirty(int64(i)); err != nil {
+				return false
+			}
+			if err := pool.Put(int64(i)); err != nil {
+				return false
+			}
+		}
+		if err := pool.Flush(); err != nil {
+			return false
+		}
+		w := backing.writes
+		if err := pool.Flush(); err != nil {
+			return false
+		}
+		if backing.writes != w {
+			t.Logf("second flush rewrote clean pages: %d -> %d", w, backing.writes)
+			return false
+		}
+		return backing.writes == dirty
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ExamplePool() {
+	backing := newShadowBacking(8)
+	pool, _ := New(8, 2, backing)
+	buf, _ := pool.Get(7)
+	copy(buf, "chunk 7!")
+	pool.MarkDirty(7)
+	pool.Put(7)
+	pool.Flush()
+	fmt.Printf("%s\n", backing.pages[7])
+	// Output: chunk 7!
+}

@@ -1,0 +1,247 @@
+// Package ncdf is the comparison baseline modelled on the classic
+// netCDF file format: a header, fixed-size variables, then "records" —
+// one slice per variable along the single unlimited (record) dimension,
+// interleaved record by record.
+//
+// Two structural properties matter for the paper's comparison:
+//
+//  1. Exactly one dimension (the record dimension) is extendible;
+//     growing any fixed dimension requires a "redefine" that rewrites
+//     the whole file (RedefExtend accounts the moved bytes).
+//  2. Record interleaving of multiple variables makes single-variable
+//     scans strided: reading records [lo,hi) of one variable costs one
+//     seek per record once other record variables exist.
+package ncdf
+
+import (
+	"fmt"
+
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+	"drxmp/internal/pfs"
+)
+
+// Var declares one record variable: its element type and per-record
+// shape (the fixed dimensions; the record dimension is implicit).
+type Var struct {
+	Name  string
+	DType dtype.T
+	Fixed grid.Shape
+}
+
+// sliceBytes returns the byte size of one record slice of v.
+func (v Var) sliceBytes() int64 {
+	return v.Fixed.Volume() * int64(v.DType.Size())
+}
+
+// HeaderBytes is the modelled fixed header size.
+const HeaderBytes = 1024
+
+// File is a netCDF-like dataset.
+type File struct {
+	vars    []Var
+	offs    []int64 // displacement of each variable within a record
+	stride  int64   // record stride (sum of slice sizes)
+	numRecs int
+	fs      *pfs.FS
+
+	// BytesMoved accumulates redefine (reorganization) traffic.
+	BytesMoved int64
+	// Redefines counts full-file rewrites.
+	Redefines int64
+}
+
+// Create builds a dataset with the given record variables and zero
+// records.
+func Create(name string, vars []Var, fsOpts pfs.Options) (*File, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("ncdf: no variables")
+	}
+	f := &File{vars: append([]Var(nil), vars...)}
+	var at int64
+	for i, v := range vars {
+		if !v.DType.Valid() {
+			return nil, fmt.Errorf("ncdf: variable %q: invalid dtype", v.Name)
+		}
+		if len(v.Fixed) > 0 && !v.Fixed.Positive() {
+			return nil, fmt.Errorf("ncdf: variable %q: fixed shape %v", v.Name, v.Fixed)
+		}
+		f.offs = append(f.offs, at)
+		at += v.sliceBytes()
+		_ = i
+	}
+	f.stride = at
+	fs, err := pfs.Create(name+".nc", fsOpts)
+	if err != nil {
+		return nil, err
+	}
+	f.fs = fs
+	if err := fs.Truncate(HeaderBytes); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Close releases the backing store.
+func (f *File) Close() error { return f.fs.Close() }
+
+// FS exposes the backing store.
+func (f *File) FS() *pfs.FS { return f.fs }
+
+// NumRecords returns the current record count.
+func (f *File) NumRecords() int { return f.numRecs }
+
+// NumVars returns the variable count.
+func (f *File) NumVars() int { return len(f.vars) }
+
+// VarInfo returns variable v's declaration.
+func (f *File) VarInfo(v int) (Var, error) {
+	if v < 0 || v >= len(f.vars) {
+		return Var{}, fmt.Errorf("ncdf: variable %d of %d", v, len(f.vars))
+	}
+	return f.vars[v], nil
+}
+
+// RecordStride returns the byte distance between consecutive records.
+func (f *File) RecordStride() int64 { return f.stride }
+
+// ExtendRecords appends `by` records (the cheap, supported extension).
+func (f *File) ExtendRecords(by int) error {
+	if by < 1 {
+		return fmt.Errorf("ncdf: extend by %d", by)
+	}
+	f.numRecs += by
+	return f.fs.Truncate(HeaderBytes + int64(f.numRecs)*f.stride)
+}
+
+// recOff returns the byte offset of variable v's slice in record r.
+func (f *File) recOff(v, r int) int64 {
+	return HeaderBytes + int64(r)*f.stride + f.offs[v]
+}
+
+// WriteVar writes records [recLo, recHi) of variable v from buf (dense,
+// record-major, row-major within each record slice).
+func (f *File) WriteVar(v, recLo, recHi int, buf []byte) error {
+	return f.varIO(v, recLo, recHi, buf, true)
+}
+
+// ReadVar reads records [recLo, recHi) of variable v into buf.
+func (f *File) ReadVar(v, recLo, recHi int, buf []byte) error {
+	return f.varIO(v, recLo, recHi, buf, false)
+}
+
+func (f *File) varIO(v, recLo, recHi int, buf []byte, write bool) error {
+	if v < 0 || v >= len(f.vars) {
+		return fmt.Errorf("ncdf: variable %d of %d", v, len(f.vars))
+	}
+	if recLo < 0 || recHi > f.numRecs || recLo > recHi {
+		return fmt.Errorf("ncdf: records [%d,%d) outside [0,%d)", recLo, recHi, f.numRecs)
+	}
+	sb := f.vars[v].sliceBytes()
+	need := sb * int64(recHi-recLo)
+	if int64(len(buf)) < need {
+		return fmt.Errorf("ncdf: buffer of %d bytes for %d-byte range", len(buf), need)
+	}
+	var at int64
+	for r := recLo; r < recHi; r++ {
+		seg := buf[at : at+sb]
+		var err error
+		if write {
+			_, err = f.fs.WriteAt(seg, f.recOff(v, r))
+		} else {
+			_, err = f.fs.ReadAt(seg, f.recOff(v, r))
+		}
+		if err != nil {
+			return err
+		}
+		at += sb
+	}
+	return nil
+}
+
+// RedefExtend grows fixed dimension dim of variable v by `by` indices —
+// netCDF's "redefine" path. The record stride changes, so every record
+// of every variable relocates; the whole data section is rewritten and
+// the traffic accounted in BytesMoved.
+func (f *File) RedefExtend(v, dim, by int) error {
+	if v < 0 || v >= len(f.vars) {
+		return fmt.Errorf("ncdf: variable %d of %d", v, len(f.vars))
+	}
+	if dim < 0 || dim >= len(f.vars[v].Fixed) {
+		return fmt.Errorf("ncdf: fixed dimension %d of %d", dim, len(f.vars[v].Fixed))
+	}
+	if by < 1 {
+		return fmt.Errorf("ncdf: extend by %d", by)
+	}
+	oldVars := append([]Var(nil), f.vars...)
+	oldOffs := append([]int64(nil), f.offs...)
+	oldStride := f.stride
+
+	newVars := append([]Var(nil), f.vars...)
+	newFixed := newVars[v].Fixed.Clone()
+	newFixed[dim] += by
+	newVars[v].Fixed = newFixed
+
+	newOffs := make([]int64, len(newVars))
+	var at int64
+	for i, nv := range newVars {
+		newOffs[i] = at
+		at += nv.sliceBytes()
+	}
+	newStride := at
+
+	// Relocate record by record, from the last record to the first (new
+	// offsets only grow). Within a record, variables after v also shift;
+	// grown variable slices are padded with zeros row by row.
+	for r := f.numRecs - 1; r >= 0; r-- {
+		for i := len(oldVars) - 1; i >= 0; i-- {
+			oldOff := HeaderBytes + int64(r)*oldStride + oldOffs[i]
+			newOff := HeaderBytes + int64(r)*newStride + newOffs[i]
+			if i != v {
+				if oldOff == newOff {
+					continue
+				}
+				sb := oldVars[i].sliceBytes()
+				buf := make([]byte, sb)
+				if _, err := f.fs.ReadAt(buf, oldOff); err != nil {
+					return err
+				}
+				if _, err := f.fs.WriteAt(buf, newOff); err != nil {
+					return err
+				}
+				f.BytesMoved += 2 * sb
+				continue
+			}
+			// The grown variable: re-layout its slice (row-major with a
+			// larger extent along dim).
+			oldSB := oldVars[i].sliceBytes()
+			newSB := newVars[i].sliceBytes()
+			oldBuf := make([]byte, oldSB)
+			if _, err := f.fs.ReadAt(oldBuf, oldOff); err != nil {
+				return err
+			}
+			newBuf := make([]byte, newSB)
+			es := int64(oldVars[i].DType.Size())
+			oldStr := grid.Strides(oldVars[i].Fixed, grid.RowMajor)
+			newStr := grid.Strides(newVars[i].Fixed, grid.RowMajor)
+			grid.BoxOf(oldVars[i].Fixed).Rows(grid.RowMajor, func(start []int, n int) bool {
+				var o, nw int64
+				for d, sIdx := range start {
+					o += int64(sIdx) * oldStr[d]
+					nw += int64(sIdx) * newStr[d]
+				}
+				copy(newBuf[nw*es:(nw+int64(n))*es], oldBuf[o*es:(o+int64(n))*es])
+				return true
+			})
+			if _, err := f.fs.WriteAt(newBuf, newOff); err != nil {
+				return err
+			}
+			f.BytesMoved += oldSB + newSB
+		}
+	}
+	f.vars = newVars
+	f.offs = newOffs
+	f.stride = newStride
+	f.Redefines++
+	return f.fs.Truncate(HeaderBytes + int64(f.numRecs)*f.stride)
+}

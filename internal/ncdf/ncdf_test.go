@@ -1,0 +1,260 @@
+package ncdf
+
+import (
+	"bytes"
+	"testing"
+
+	"drxmp/internal/dtype"
+	"drxmp/internal/grid"
+	"drxmp/internal/pfs"
+)
+
+func twoVarFile(t *testing.T) *File {
+	t.Helper()
+	f, err := Create("t", []Var{
+		{Name: "temp", DType: dtype.Float64, Fixed: grid.Shape{4, 5}},
+		{Name: "salt", DType: dtype.Float32, Fixed: grid.Shape{4, 5}},
+	}, pfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create("t", nil, pfs.Options{}); err == nil {
+		t.Error("no variables accepted")
+	}
+	if _, err := Create("t", []Var{{Name: "x", DType: dtype.Invalid}}, pfs.Options{}); err == nil {
+		t.Error("invalid dtype accepted")
+	}
+	if _, err := Create("t", []Var{{Name: "x", DType: dtype.Float64, Fixed: grid.Shape{0}}}, pfs.Options{}); err == nil {
+		t.Error("zero fixed dim accepted")
+	}
+}
+
+func TestRecordLayout(t *testing.T) {
+	f := twoVarFile(t)
+	// temp: 20 float64 = 160 B; salt: 20 float32 = 80 B; stride 240.
+	if f.RecordStride() != 240 {
+		t.Fatalf("stride = %d", f.RecordStride())
+	}
+	if f.NumVars() != 2 {
+		t.Fatalf("vars = %d", f.NumVars())
+	}
+	v, err := f.VarInfo(1)
+	if err != nil || v.Name != "salt" {
+		t.Fatalf("VarInfo = %+v, %v", v, err)
+	}
+	if _, err := f.VarInfo(2); err == nil {
+		t.Error("bad var index accepted")
+	}
+}
+
+func TestWriteReadRecords(t *testing.T) {
+	f := twoVarFile(t)
+	if err := f.ExtendRecords(3); err != nil {
+		t.Fatal(err)
+	}
+	// Write 3 records of var 0, then 3 of var 1; read back interleaved.
+	tempVals := make([]float64, 3*20)
+	for i := range tempVals {
+		tempVals[i] = float64(i) + 0.5
+	}
+	if err := f.WriteVar(0, 0, 3, dtype.EncodeFloat64s(dtype.Float64, tempVals)); err != nil {
+		t.Fatal(err)
+	}
+	saltVals := make([]float64, 3*20)
+	for i := range saltVals {
+		saltVals[i] = float64(100 + i)
+	}
+	if err := f.WriteVar(1, 0, 3, dtype.EncodeFloat64s(dtype.Float32, saltVals)); err != nil {
+		t.Fatal(err)
+	}
+	back := make([]byte, 3*160)
+	if err := f.ReadVar(0, 0, 3, back); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tempVals {
+		if got := dtype.Float64At(dtype.Float64, back[i*8:]); got != want {
+			t.Fatalf("temp[%d] = %v, want %v", i, got, want)
+		}
+	}
+	back2 := make([]byte, 3*80)
+	if err := f.ReadVar(1, 0, 3, back2); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range saltVals {
+		if got := dtype.Float64At(dtype.Float32, back2[i*4:]); got != want {
+			t.Fatalf("salt[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestVarIOValidation(t *testing.T) {
+	f := twoVarFile(t)
+	if err := f.ExtendRecords(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ReadVar(5, 0, 1, make([]byte, 160)); err == nil {
+		t.Error("bad var accepted")
+	}
+	if err := f.ReadVar(0, 0, 3, make([]byte, 480)); err == nil {
+		t.Error("past-end records accepted")
+	}
+	if err := f.ReadVar(0, 0, 2, make([]byte, 100)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := f.ExtendRecords(0); err == nil {
+		t.Error("zero record extension accepted")
+	}
+}
+
+// TestInterleavingCausesSeeks: reading one variable's records is
+// strided because the other variable's slices interleave.
+func TestInterleavingCausesSeeks(t *testing.T) {
+	f, err := Create("t", []Var{
+		{Name: "a", DType: dtype.Float64, Fixed: grid.Shape{16}},
+		{Name: "b", DType: dtype.Float64, Fixed: grid.Shape{16}},
+	}, pfs.Options{Cost: pfs.DefaultCost()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	const recs = 64
+	if err := f.ExtendRecords(recs); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, recs*16*8)
+	if err := f.WriteVar(0, 0, recs, buf); err != nil {
+		t.Fatal(err)
+	}
+	f.FS().ResetStats()
+	if err := f.ReadVar(0, 0, recs, buf); err != nil {
+		t.Fatal(err)
+	}
+	st := f.FS().Stats()
+	// One request and (almost) one seek per record.
+	if st.Requests() < recs {
+		t.Fatalf("requests = %d, want >= %d", st.Requests(), recs)
+	}
+	if st.Seeks() < recs-1 {
+		t.Fatalf("seeks = %d, want ~%d", st.Seeks(), recs)
+	}
+}
+
+// TestRedefExtendRewritesFile: growing a fixed dimension relocates all
+// records and preserves their content.
+func TestRedefExtendRewritesFile(t *testing.T) {
+	f, err := Create("t", []Var{
+		{Name: "a", DType: dtype.Float64, Fixed: grid.Shape{2, 3}},
+		{Name: "b", DType: dtype.Float64, Fixed: grid.Shape{4}},
+	}, pfs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.ExtendRecords(5); err != nil {
+		t.Fatal(err)
+	}
+	aVals := make([]float64, 5*6)
+	for i := range aVals {
+		aVals[i] = float64(i + 1)
+	}
+	if err := f.WriteVar(0, 0, 5, dtype.EncodeFloat64s(dtype.Float64, aVals)); err != nil {
+		t.Fatal(err)
+	}
+	bVals := make([]float64, 5*4)
+	for i := range bVals {
+		bVals[i] = float64(-i - 1)
+	}
+	if err := f.WriteVar(1, 0, 5, dtype.EncodeFloat64s(dtype.Float64, bVals)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow var a's fixed dim 1 from 3 to 5.
+	if err := f.RedefExtend(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Redefines != 1 || f.BytesMoved == 0 {
+		t.Fatalf("redefines %d, moved %d", f.Redefines, f.BytesMoved)
+	}
+	vi, _ := f.VarInfo(0)
+	if !vi.Fixed.Equal(grid.Shape{2, 5}) {
+		t.Fatalf("new fixed shape = %v", vi.Fixed)
+	}
+	// Var a content: old (2x3) values at the first 3 columns of (2x5),
+	// zeros in the new columns.
+	back := make([]byte, 5*10*8)
+	if err := f.ReadVar(0, 0, 5, back); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 5; j++ {
+				got := dtype.Float64At(dtype.Float64, back[(r*10+i*5+j)*8:])
+				var want float64
+				if j < 3 {
+					want = aVals[r*6+i*3+j]
+				}
+				if got != want {
+					t.Fatalf("a[rec %d](%d,%d) = %v, want %v", r, i, j, got, want)
+				}
+			}
+		}
+	}
+	// Var b untouched.
+	back2 := make([]byte, 5*4*8)
+	if err := f.ReadVar(1, 0, 5, back2); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range bVals {
+		if got := dtype.Float64At(dtype.Float64, back2[i*8:]); got != want {
+			t.Fatalf("b[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestRedefValidation(t *testing.T) {
+	f := twoVarFile(t)
+	if err := f.RedefExtend(5, 0, 1); err == nil {
+		t.Error("bad var accepted")
+	}
+	if err := f.RedefExtend(0, 9, 1); err == nil {
+		t.Error("bad dim accepted")
+	}
+	if err := f.RedefExtend(0, 0, 0); err == nil {
+		t.Error("zero extension accepted")
+	}
+}
+
+// TestRecordAppendCheap: the supported extension path moves nothing.
+func TestRecordAppendCheap(t *testing.T) {
+	f := twoVarFile(t)
+	if err := f.ExtendRecords(2); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 2*160)
+	if err := f.WriteVar(0, 0, 2, payload); err != nil {
+		t.Fatal(err)
+	}
+	before := f.FS().Stats().Bytes()
+	if err := f.ExtendRecords(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.FS().Stats().Bytes(); got != before {
+		t.Fatalf("record append moved %d bytes", got-before)
+	}
+	if f.NumRecords() != 102 {
+		t.Fatalf("records = %d", f.NumRecords())
+	}
+	// Old content still readable.
+	back := make([]byte, 2*160)
+	if err := f.ReadVar(0, 0, 2, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, payload) {
+		t.Fatal("content lost on record append")
+	}
+}

@@ -1,0 +1,442 @@
+// Package order implements the array allocation schemes the paper
+// compares in Fig. 2:
+//
+//	(a) row-major sequence order (and its column-major dual),
+//	(b) Z (Morton) sequence order,
+//	(c) symmetric linear shell sequence order,
+//	(d) arbitrary linear shell sequence order (the axial-vector scheme).
+//
+// Each scheme implements the Layout interface: a mapping from
+// k-dimensional indices to linear addresses plus whatever extendibility
+// the scheme supports. The package exists both to reproduce Fig. 2
+// exactly and to serve as ablation baselines for the benchmark harness:
+// row-major extends in one dimension only, Z-order grows by doubling,
+// the symmetric shell grows only cyclically, while the axial scheme
+// (package core) grows arbitrarily.
+package order
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"drxmp/internal/core"
+)
+
+// ErrExtend reports that a layout cannot extend the requested dimension
+// (or can only do so under a constraint the request violates).
+var ErrExtend = errors.New("order: extension not supported by this layout")
+
+// ErrBounds mirrors core.ErrBounds for out-of-range queries.
+var ErrBounds = errors.New("order: index out of bounds")
+
+// Layout is one allocation scheme over a growable k-dimensional index
+// space.
+type Layout interface {
+	// Name identifies the scheme ("row-major", "z-order", ...).
+	Name() string
+	// Bounds returns the current per-dimension bounds.
+	Bounds() []int
+	// Map returns the linear address of idx.
+	Map(idx []int) (int64, error)
+	// Inverse returns the index assigned to linear address q.
+	Inverse(q int64) ([]int, error)
+	// Extend grows dimension dim by `by` indices, or returns an error
+	// (wrapping ErrExtend) when the scheme cannot.
+	Extend(dim, by int) error
+	// Span returns one past the largest assigned address. For schemes
+	// with allocation holes (see SymmetricShell) Span may exceed the
+	// number of indices in bounds.
+	Span() int64
+}
+
+// --- (a) row-major / column-major ---
+
+// Linear is the conventional row-major or column-major layout. It is
+// weakly extendible in exactly one dimension: the least-varying one
+// (dimension 0 for row-major, k-1 for column-major). Extending any other
+// dimension would move existing elements, which Extend refuses to do;
+// the dra baseline package measures the cost of that reorganization.
+type Linear struct {
+	bounds []int
+	col    bool
+}
+
+// NewRowMajor returns a C-order layout over the given bounds.
+func NewRowMajor(bounds []int) *Linear {
+	return &Linear{bounds: append([]int(nil), bounds...)}
+}
+
+// NewColMajor returns a Fortran-order layout over the given bounds.
+func NewColMajor(bounds []int) *Linear {
+	return &Linear{bounds: append([]int(nil), bounds...), col: true}
+}
+
+func (l *Linear) Name() string {
+	if l.col {
+		return "col-major"
+	}
+	return "row-major"
+}
+
+func (l *Linear) Bounds() []int { return append([]int(nil), l.bounds...) }
+
+func (l *Linear) Span() int64 {
+	v := int64(1)
+	for _, n := range l.bounds {
+		v *= int64(n)
+	}
+	return v
+}
+
+func (l *Linear) Map(idx []int) (int64, error) {
+	if err := checkIdx(idx, l.bounds); err != nil {
+		return 0, err
+	}
+	var q int64
+	acc := int64(1)
+	if l.col {
+		for i := 0; i < len(idx); i++ {
+			q += int64(idx[i]) * acc
+			acc *= int64(l.bounds[i])
+		}
+	} else {
+		for i := len(idx) - 1; i >= 0; i-- {
+			q += int64(idx[i]) * acc
+			acc *= int64(l.bounds[i])
+		}
+	}
+	return q, nil
+}
+
+func (l *Linear) Inverse(q int64) ([]int, error) {
+	if q < 0 || q >= l.Span() {
+		return nil, fmt.Errorf("%w: address %d", ErrBounds, q)
+	}
+	idx := make([]int, len(l.bounds))
+	if l.col {
+		for i := 0; i < len(idx); i++ {
+			n := int64(l.bounds[i])
+			idx[i] = int(q % n)
+			q /= n
+		}
+	} else {
+		for i := len(idx) - 1; i >= 0; i-- {
+			n := int64(l.bounds[i])
+			idx[i] = int(q % n)
+			q /= n
+		}
+	}
+	return idx, nil
+}
+
+func (l *Linear) Extend(dim, by int) error {
+	if by < 1 {
+		return fmt.Errorf("order: extend amount %d", by)
+	}
+	free := 0 // the only dimension extendible without reorganization
+	if l.col {
+		free = len(l.bounds) - 1
+	}
+	if dim != free {
+		return fmt.Errorf("%w: %s can only extend dimension %d without reorganization (requested %d)",
+			ErrExtend, l.Name(), free, dim)
+	}
+	l.bounds[dim] += by
+	return nil
+}
+
+// --- (b) Z (Morton) order ---
+
+// Morton is the Z-order (Morton sequence) layout. Addresses are the
+// bit-interleave of the index coordinates, dimension 0 occupying the
+// most significant bit of each group. As the paper notes, the scheme is
+// "constrained to have exponential growth": the array grows by doubling
+// one dimension, in cyclic order of the dimensions.
+type Morton struct {
+	bounds  []int // each a power of two
+	nextDbl int   // next dimension allowed to double (cyclic)
+}
+
+// NewMorton returns a Z-order layout. Every bound must be a power of two
+// and the bounds must be "balanced": sorted descending by at most one
+// doubling step along the dimension cycle (the canonical case — as in
+// Fig. 2b — is all bounds equal).
+func NewMorton(bounds []int) (*Morton, error) {
+	if len(bounds) == 0 {
+		return nil, errors.New("order: morton rank 0")
+	}
+	for d, n := range bounds {
+		if n < 1 || n&(n-1) != 0 {
+			return nil, fmt.Errorf("order: morton bound %d of dimension %d is not a power of two", n, d)
+		}
+	}
+	m := &Morton{bounds: append([]int(nil), bounds...)}
+	// Determine the cyclic doubling position: the first dimension whose
+	// bound is smaller than dimension 0's doubles next.
+	m.nextDbl = 0
+	for d := 1; d < len(bounds); d++ {
+		if bounds[d] < bounds[0] {
+			if bounds[d]*2 != bounds[0] {
+				return nil, fmt.Errorf("order: morton bounds %v not reachable by cyclic doubling", bounds)
+			}
+			m.nextDbl = d
+			break
+		}
+	}
+	return m, nil
+}
+
+func (m *Morton) Name() string  { return "z-order" }
+func (m *Morton) Bounds() []int { return append([]int(nil), m.bounds...) }
+
+func (m *Morton) Span() int64 {
+	v := int64(1)
+	for _, n := range m.bounds {
+		v *= int64(n)
+	}
+	return v
+}
+
+func (m *Morton) Map(idx []int) (int64, error) {
+	if err := checkIdx(idx, m.bounds); err != nil {
+		return 0, err
+	}
+	// Interleave: bit b of dimension d lands at position
+	// b*k + (k-1-d) among the bits that exist at level b. With unequal
+	// (cyclically doubled) bounds, dimensions whose bound has fewer bits
+	// simply contribute no bit at the higher levels.
+	k := len(idx)
+	var q int64
+	pos := 0
+	for b := 0; ; b++ {
+		any := false
+		for d := k - 1; d >= 0; d-- {
+			if m.bounds[d] > 1<<b { // dimension d has a bit at level b
+				any = true
+				if idx[d]&(1<<b) != 0 {
+					q |= 1 << pos
+				}
+				pos++
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return q, nil
+}
+
+func (m *Morton) Inverse(q int64) ([]int, error) {
+	if q < 0 || q >= m.Span() {
+		return nil, fmt.Errorf("%w: address %d", ErrBounds, q)
+	}
+	k := len(m.bounds)
+	idx := make([]int, k)
+	pos := 0
+	for b := 0; ; b++ {
+		any := false
+		for d := k - 1; d >= 0; d-- {
+			if m.bounds[d] > 1<<b {
+				any = true
+				if q&(1<<pos) != 0 {
+					idx[d] |= 1 << b
+				}
+				pos++
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	return idx, nil
+}
+
+// Extend doubles dimension dim. Only the next dimension in the cyclic
+// doubling order may be extended, and only by exactly its current bound
+// (the paper: growth "by doubling its size and only in a cyclic order of
+// its dimensions").
+func (m *Morton) Extend(dim, by int) error {
+	if dim != m.nextDbl {
+		return fmt.Errorf("%w: z-order must double dimension %d next (requested %d)", ErrExtend, m.nextDbl, dim)
+	}
+	if by != m.bounds[dim] {
+		return fmt.Errorf("%w: z-order grows by doubling; dimension %d must grow by %d (requested %d)",
+			ErrExtend, dim, m.bounds[dim], by)
+	}
+	m.bounds[dim] *= 2
+	m.nextDbl = (m.nextDbl + 1) % len(m.bounds)
+	return nil
+}
+
+// --- (c) symmetric linear shell ---
+
+// SymmetricShell is the 2-D symmetric linear shell order of Fig. 2c:
+//
+//	F(i,j) = j² + i        if i < j
+//	F(i,j) = i² + 2i − j   if i >= j
+//
+// Shell s (all cells with max(i,j) == s) occupies addresses
+// [s², (s+1)²). The scheme extends linearly (one shell at a time) but
+// only in cyclic order; extending the same dimension twice in a row
+// leaves allocated-but-unused locations, which Span/Waste expose — this
+// is exactly the deficiency the paper cites to motivate axial vectors.
+type SymmetricShell struct {
+	bounds [2]int
+}
+
+// NewSymmetricShell returns the shell layout with the given initial
+// square-ish bounds (|n0-n1| <= 1 keeps it hole-free).
+func NewSymmetricShell(n0, n1 int) (*SymmetricShell, error) {
+	if n0 < 1 || n1 < 1 {
+		return nil, fmt.Errorf("order: shell bounds %dx%d", n0, n1)
+	}
+	return &SymmetricShell{bounds: [2]int{n0, n1}}, nil
+}
+
+func (s *SymmetricShell) Name() string  { return "symmetric-shell" }
+func (s *SymmetricShell) Bounds() []int { return []int{s.bounds[0], s.bounds[1]} }
+
+func shellAddr(i, j int) int64 {
+	if i < j {
+		return int64(j)*int64(j) + int64(i)
+	}
+	return int64(i)*int64(i) + 2*int64(i) - int64(j)
+}
+
+func (s *SymmetricShell) Map(idx []int) (int64, error) {
+	if err := checkIdx(idx, s.Bounds()); err != nil {
+		return 0, err
+	}
+	return shellAddr(idx[0], idx[1]), nil
+}
+
+// Span returns one past the maximum assigned address, which with
+// unbalanced bounds exceeds the cell count (allocation holes).
+func (s *SymmetricShell) Span() int64 { return s.spanExact() }
+
+// spanExact computes the true maximum address over the corner cells.
+func (s *SymmetricShell) spanExact() int64 {
+	n0, n1 := s.bounds[0], s.bounds[1]
+	m := shellAddr(n0-1, 0)
+	if a := shellAddr(0, n1-1); a > m {
+		m = a
+	}
+	if a := shellAddr(n0-1, n1-1); a > m {
+		m = a
+	}
+	return m + 1
+}
+
+// Waste returns the number of allocated-but-unused linear locations
+// (zero when the bounds are balanced).
+func (s *SymmetricShell) Waste() int64 {
+	return s.spanExact() - int64(s.bounds[0])*int64(s.bounds[1])
+}
+
+func (s *SymmetricShell) Inverse(q int64) ([]int, error) {
+	if q < 0 || q >= s.spanExact() {
+		return nil, fmt.Errorf("%w: address %d", ErrBounds, q)
+	}
+	// Shell index is isqrt(q).
+	sh := int64(0)
+	for (sh+1)*(sh+1) <= q {
+		sh++
+	}
+	d := q - sh*sh
+	var i, j int
+	if d < sh { // column part: (d, sh)
+		i, j = int(d), int(sh)
+	} else { // row part: (sh, 2sh-d)
+		i, j = int(sh), int(2*sh-d)
+	}
+	if i >= s.bounds[0] || j >= s.bounds[1] {
+		return nil, fmt.Errorf("%w: address %d is an allocation hole", ErrBounds, q)
+	}
+	return []int{i, j}, nil
+}
+
+// Extend grows one dimension. Any request is accepted (the scheme's
+// function stays well defined) but growth that breaks the cyclic
+// alternation creates holes, reported by Waste.
+func (s *SymmetricShell) Extend(dim, by int) error {
+	if dim < 0 || dim > 1 {
+		return fmt.Errorf("%w: dimension %d", ErrExtend, dim)
+	}
+	if by < 1 {
+		return fmt.Errorf("order: extend amount %d", by)
+	}
+	s.bounds[dim] += by
+	return nil
+}
+
+// --- (d) arbitrary linear shell: the axial-vector scheme ---
+
+// Axial adapts core.Space (the paper's contribution) to the Layout
+// interface. It is the only scheme that extends any dimension, by any
+// amount, with no holes and no moves.
+type Axial struct {
+	s *core.Space
+}
+
+// NewAxial returns an axial layout with the given initial bounds.
+func NewAxial(bounds []int) (*Axial, error) {
+	s, err := core.NewSpace(bounds)
+	if err != nil {
+		return nil, err
+	}
+	return &Axial{s: s}, nil
+}
+
+func (a *Axial) Name() string  { return "axial" }
+func (a *Axial) Bounds() []int { return a.s.Bounds() }
+func (a *Axial) Span() int64   { return a.s.Total() }
+
+// Space exposes the underlying extendible space.
+func (a *Axial) Space() *core.Space { return a.s }
+
+func (a *Axial) Map(idx []int) (int64, error) { return a.s.Map(idx) }
+
+func (a *Axial) Inverse(q int64) ([]int, error) { return a.s.Inverse(q, nil) }
+
+func (a *Axial) Extend(dim, by int) error { return a.s.Extend(dim, by) }
+
+// --- helpers ---
+
+func checkIdx(idx, bounds []int) error {
+	if len(idx) != len(bounds) {
+		return fmt.Errorf("order: index rank %d != %d", len(idx), len(bounds))
+	}
+	for d, i := range idx {
+		if i < 0 || i >= bounds[d] {
+			return fmt.Errorf("%w: index %d of dimension %d outside [0,%d)", ErrBounds, i, d, bounds[d])
+		}
+	}
+	return nil
+}
+
+// RenderGrid renders a 2-D layout's address matrix (rows = dimension 0)
+// in the style of the paper's Fig. 2, using "." for holes.
+func RenderGrid(l Layout) string {
+	b := l.Bounds()
+	if len(b) != 2 {
+		return fmt.Sprintf("<%s: rank %d, not renderable as a grid>", l.Name(), len(b))
+	}
+	width := len(fmt.Sprint(l.Span() - 1))
+	var sb strings.Builder
+	for i := 0; i < b[0]; i++ {
+		for j := 0; j < b[1]; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			q, err := l.Map([]int{i, j})
+			if err != nil {
+				sb.WriteString(strings.Repeat(".", width))
+				continue
+			}
+			fmt.Fprintf(&sb, "%*d", width, q)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,510 @@
+// Package pfs simulates a striped parallel file system in the role PVFS2
+// plays for the paper's DRX-MP testbed.
+//
+// A logical file is striped round-robin over S I/O servers with a fixed
+// stripe unit: logical byte offset o lives on server (o/stripe) mod S.
+// Two storage backends are provided: an in-memory backend (the default,
+// used by tests and benchmarks) and a disk backend that stores one real
+// file per server.
+//
+// Besides bytes, the package accounts *costs*. Each server keeps request
+// counts, byte counts, and detected seeks (a request that does not start
+// where the previous request on that server ended), and charges a
+// deterministic service-time model (per-request overhead + seek latency
+// + per-byte transfer time). The simulated elapsed time of a workload
+// phase is the maximum per-server busy time accumulated in the phase —
+// i.e. perfectly overlapped parallel service, which is the regime
+// collective I/O strives for. Benchmarks report these simulated times
+// alongside wall-clock times; only shapes are compared with the paper.
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Backend selects where stripe data lives.
+type Backend int
+
+const (
+	// Mem keeps each server's data in memory (default).
+	Mem Backend = iota
+	// Disk stores each server's data in a real file "<name>.s<i>".
+	Disk
+)
+
+// CostModel is the deterministic service-time model charged per server.
+// A zero model charges nothing (pure functional simulation).
+type CostModel struct {
+	// RequestOverhead is charged once per server request.
+	RequestOverhead time.Duration
+	// SeekLatency is charged when a request does not start at the
+	// server's previous end offset.
+	SeekLatency time.Duration
+	// ByteTime is charged per byte transferred.
+	ByteTime time.Duration
+}
+
+// DefaultCost models a commodity 2007-era cluster disk behind a network
+// file server: 5 ms seek, 100 MB/s streaming, 100 µs per-request
+// software/network overhead.
+func DefaultCost() CostModel {
+	return CostModel{
+		RequestOverhead: 100 * time.Microsecond,
+		SeekLatency:     5 * time.Millisecond,
+		ByteTime:        10 * time.Nanosecond,
+	}
+}
+
+// Options configures a file system instance.
+type Options struct {
+	// Servers is the I/O server count (default 1).
+	Servers int
+	// StripeSize is the stripe unit in bytes (default 64 KiB).
+	StripeSize int64
+	// Backend selects Mem (default) or Disk.
+	Backend Backend
+	// Dir is the directory holding per-server files (Disk backend).
+	Dir string
+	// Cost is the service-time model (zero: no cost accounting).
+	Cost CostModel
+}
+
+func (o Options) withDefaults() Options {
+	if o.Servers <= 0 {
+		o.Servers = 1
+	}
+	if o.StripeSize <= 0 {
+		o.StripeSize = 64 << 10
+	}
+	return o
+}
+
+// ServerStats is the accounting of one I/O server.
+type ServerStats struct {
+	Reads        int64
+	Writes       int64
+	BytesRead    int64
+	BytesWritten int64
+	Seeks        int64
+	// Busy is the accumulated simulated service time.
+	Busy time.Duration
+}
+
+// Stats aggregates server accounting. Elapsed is the simulated parallel
+// elapsed time: the maximum Busy over servers.
+type Stats struct {
+	PerServer []ServerStats
+}
+
+// Requests returns total read+write requests across servers.
+func (s Stats) Requests() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.Reads + ps.Writes
+	}
+	return n
+}
+
+// Bytes returns total bytes moved across servers.
+func (s Stats) Bytes() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.BytesRead + ps.BytesWritten
+	}
+	return n
+}
+
+// Seeks returns total seeks across servers.
+func (s Stats) Seeks() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.Seeks
+	}
+	return n
+}
+
+// Elapsed returns the simulated parallel elapsed time (max server Busy).
+func (s Stats) Elapsed() time.Duration {
+	var m time.Duration
+	for _, ps := range s.PerServer {
+		if ps.Busy > m {
+			m = ps.Busy
+		}
+	}
+	return m
+}
+
+// BusySum returns the total service time across servers (the serial
+// equivalent of Elapsed).
+func (s Stats) BusySum() time.Duration {
+	var m time.Duration
+	for _, ps := range s.PerServer {
+		m += ps.Busy
+	}
+	return m
+}
+
+// Sub returns s - t field-wise (for phase measurement).
+func (s Stats) Sub(t Stats) Stats {
+	out := Stats{PerServer: make([]ServerStats, len(s.PerServer))}
+	for i := range s.PerServer {
+		a, b := s.PerServer[i], ServerStats{}
+		if i < len(t.PerServer) {
+			b = t.PerServer[i]
+		}
+		out.PerServer[i] = ServerStats{
+			Reads:        a.Reads - b.Reads,
+			Writes:       a.Writes - b.Writes,
+			BytesRead:    a.BytesRead - b.BytesRead,
+			BytesWritten: a.BytesWritten - b.BytesWritten,
+			Seeks:        a.Seeks - b.Seeks,
+			Busy:         a.Busy - b.Busy,
+		}
+	}
+	return out
+}
+
+// server is one I/O server: a growable byte store plus accounting.
+type server struct {
+	mu      sync.Mutex
+	mem     []byte   // Mem backend
+	f       *os.File // Disk backend
+	size    int64    // bytes stored on this server
+	lastEnd int64    // end offset of the previous request (seek detection)
+	stats   ServerStats
+	cost    CostModel
+}
+
+func (sv *server) charge(n int64, off int64, write bool) {
+	seek := off != sv.lastEnd
+	if seek {
+		sv.stats.Seeks++
+	}
+	if write {
+		sv.stats.Writes++
+		sv.stats.BytesWritten += n
+	} else {
+		sv.stats.Reads++
+		sv.stats.BytesRead += n
+	}
+	d := sv.cost.RequestOverhead + time.Duration(n)*sv.cost.ByteTime
+	if seek {
+		d += sv.cost.SeekLatency
+	}
+	sv.stats.Busy += d
+	sv.lastEnd = off + n
+}
+
+func (sv *server) writeAt(p []byte, off int64) error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.charge(int64(len(p)), off, true)
+	if sv.f != nil {
+		if _, err := sv.f.WriteAt(p, off); err != nil {
+			return err
+		}
+	} else {
+		if need := off + int64(len(p)); need > int64(len(sv.mem)) {
+			grown := make([]byte, need+need/4)
+			copy(grown, sv.mem)
+			sv.mem = grown
+		}
+		copy(sv.mem[off:], p)
+	}
+	if end := off + int64(len(p)); end > sv.size {
+		sv.size = end
+	}
+	return nil
+}
+
+func (sv *server) readAt(p []byte, off int64) error {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	sv.charge(int64(len(p)), off, false)
+	if sv.f != nil {
+		// Holes and regions past the per-server EOF read as zeros.
+		for i := range p {
+			p[i] = 0
+		}
+		if off < sv.size {
+			n := int64(len(p))
+			if off+n > sv.size {
+				n = sv.size - off
+			}
+			if _, err := sv.f.ReadAt(p[:n], off); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range p {
+		p[i] = 0
+	}
+	if off < int64(len(sv.mem)) {
+		copy(p, sv.mem[off:])
+	}
+	return nil
+}
+
+// FS is one striped logical file. Methods are safe for concurrent use.
+type FS struct {
+	opts    Options
+	servers []*server
+	inj     atomic.Pointer[injBox] // failure injection (fault.go)
+
+	mu   sync.Mutex
+	size int64 // logical file size (high-water mark of writes/truncate)
+}
+
+// Create opens a new striped file. For the Disk backend, per-server
+// files "<name>.s<i>" are created (truncated) in opts.Dir.
+func Create(name string, opts Options) (*FS, error) {
+	opts = opts.withDefaults()
+	fs := &FS{opts: opts, servers: make([]*server, opts.Servers)}
+	for i := range fs.servers {
+		sv := &server{cost: opts.Cost}
+		if opts.Backend == Disk {
+			path := filepath.Join(opts.Dir, fmt.Sprintf("%s.s%d", name, i))
+			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("pfs: create server file: %w", err)
+			}
+			sv.f = f
+		}
+		fs.servers[i] = sv
+	}
+	return fs, nil
+}
+
+// Open re-opens an existing Disk-backed striped file. The stripe
+// geometry must match the one used at creation (callers persist it in
+// their metadata, as drx does in the .xmd file).
+func Open(name string, opts Options) (*FS, error) {
+	opts = opts.withDefaults()
+	if opts.Backend != Disk {
+		return nil, errors.New("pfs: Open requires the Disk backend")
+	}
+	fs := &FS{opts: opts, servers: make([]*server, opts.Servers)}
+	var logical int64
+	for i := range fs.servers {
+		path := filepath.Join(opts.Dir, fmt.Sprintf("%s.s%d", name, i))
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("pfs: open server file: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		fs.servers[i] = &server{cost: opts.Cost, f: f, size: st.Size()}
+		// Reconstruct a lower bound of the logical size from the stripe
+		// layout: server i holding b bytes implies logical size >= the
+		// end of its last full-or-partial stripe unit.
+		if st.Size() > 0 {
+			units := (st.Size() + opts.StripeSize - 1) / opts.StripeSize
+			last := (units-1)*int64(opts.Servers)*opts.StripeSize + int64(i)*opts.StripeSize
+			end := last + (st.Size() - (units-1)*opts.StripeSize)
+			if end > logical {
+				logical = end
+			}
+		}
+	}
+	fs.size = logical
+	return fs, nil
+}
+
+// Remove deletes the per-server files of a Disk-backed striped file.
+func Remove(name string, opts Options) error {
+	opts = opts.withDefaults()
+	var first error
+	for i := 0; i < opts.Servers; i++ {
+		path := filepath.Join(opts.Dir, fmt.Sprintf("%s.s%d", name, i))
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Servers returns the server count.
+func (fs *FS) Servers() int { return fs.opts.Servers }
+
+// StripeSize returns the stripe unit in bytes.
+func (fs *FS) StripeSize() int64 { return fs.opts.StripeSize }
+
+// Size returns the logical file size.
+func (fs *FS) Size() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.size
+}
+
+// Truncate sets the logical size (growing only; shrink is not needed by
+// the array libraries, whose files are append-only by design).
+func (fs *FS) Truncate(n int64) error {
+	if n < 0 {
+		return errors.New("pfs: negative size")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if n > fs.size {
+		fs.size = n
+	}
+	return nil
+}
+
+// locate maps a logical offset to (server, server-local offset).
+func (fs *FS) locate(off int64) (int, int64) {
+	unit := off / fs.opts.StripeSize
+	within := off % fs.opts.StripeSize
+	s := int(unit % int64(fs.opts.Servers))
+	round := unit / int64(fs.opts.Servers)
+	return s, round*fs.opts.StripeSize + within
+}
+
+// forEachSegment splits [off, off+n) into per-server contiguous
+// segments in logical order.
+func (fs *FS) forEachSegment(off, n int64, fn func(server int, srvOff, logOff, length int64) error) error {
+	for n > 0 {
+		s, so := fs.locate(off)
+		// Length until the end of this stripe unit.
+		left := fs.opts.StripeSize - off%fs.opts.StripeSize
+		if left > n {
+			left = n
+		}
+		if err := fn(s, so, off, left); err != nil {
+			return err
+		}
+		off += left
+		n -= left
+	}
+	return nil
+}
+
+// WriteAt writes p at logical offset off, growing the file as needed.
+// It implements io.WriterAt.
+func (fs *FS) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pfs: negative offset")
+	}
+	err := fs.forEachSegment(off, int64(len(p)), func(s int, so, lo, n int64) error {
+		if err := fs.inject(s, true, so, n); err != nil {
+			return err
+		}
+		return fs.servers[s].writeAt(p[lo-off:lo-off+n], so)
+	})
+	if err != nil {
+		return 0, err
+	}
+	fs.mu.Lock()
+	if end := off + int64(len(p)); end > fs.size {
+		fs.size = end
+	}
+	fs.mu.Unlock()
+	return len(p), nil
+}
+
+// ReadAt reads into p from logical offset off. Reads beyond the logical
+// size or into never-written holes yield zero bytes (the array libraries
+// pre-extend with Truncate and treat unwritten chunks as zero-filled).
+// It implements io.ReaderAt and never returns io.EOF for in-range reads.
+func (fs *FS) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("pfs: negative offset")
+	}
+	err := fs.forEachSegment(off, int64(len(p)), func(s int, so, lo, n int64) error {
+		if err := fs.inject(s, false, so, n); err != nil {
+			return err
+		}
+		return fs.servers[s].readAt(p[lo-off:lo-off+n], so)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Run is one contiguous byte extent of a vectored operation.
+type Run struct {
+	Off int64
+	Len int64
+}
+
+// ReadV performs a vectored read of runs into buf (runs packed
+// back-to-back in order). It returns the total bytes read.
+func (fs *FS) ReadV(runs []Run, buf []byte) (int64, error) {
+	var at int64
+	for _, r := range runs {
+		if at+r.Len > int64(len(buf)) {
+			return at, fmt.Errorf("pfs: ReadV buffer too small (%d < %d)", len(buf), at+r.Len)
+		}
+		if _, err := fs.ReadAt(buf[at:at+r.Len], r.Off); err != nil {
+			return at, err
+		}
+		at += r.Len
+	}
+	return at, nil
+}
+
+// WriteV performs a vectored write of runs from buf (runs packed
+// back-to-back in order). It returns the total bytes written.
+func (fs *FS) WriteV(runs []Run, buf []byte) (int64, error) {
+	var at int64
+	for _, r := range runs {
+		if at+r.Len > int64(len(buf)) {
+			return at, fmt.Errorf("pfs: WriteV buffer too small (%d < %d)", len(buf), at+r.Len)
+		}
+		if _, err := fs.WriteAt(buf[at:at+r.Len], r.Off); err != nil {
+			return at, err
+		}
+		at += r.Len
+	}
+	return at, nil
+}
+
+// Stats returns a snapshot of the accounting.
+func (fs *FS) Stats() Stats {
+	out := Stats{PerServer: make([]ServerStats, len(fs.servers))}
+	for i, sv := range fs.servers {
+		sv.mu.Lock()
+		out.PerServer[i] = sv.stats
+		sv.mu.Unlock()
+	}
+	return out
+}
+
+// ResetStats zeroes all accounting (including seek state).
+func (fs *FS) ResetStats() {
+	for _, sv := range fs.servers {
+		sv.mu.Lock()
+		sv.stats = ServerStats{}
+		sv.lastEnd = 0
+		sv.mu.Unlock()
+	}
+}
+
+// Close releases backend resources (Disk files are synced and closed).
+func (fs *FS) Close() error {
+	var first error
+	for _, sv := range fs.servers {
+		sv.mu.Lock()
+		if sv.f != nil {
+			if err := sv.f.Sync(); err != nil && first == nil {
+				first = err
+			}
+			if err := sv.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sv.f = nil
+		}
+		sv.mu.Unlock()
+	}
+	return first
+}

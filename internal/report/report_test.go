@@ -1,0 +1,78 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRenderBasics(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("beta-long-name", 2.5)
+	tb.AddRow("gamma", 150*time.Microsecond)
+	tb.AddNote("a note with %d arg", 1)
+	var b bytes.Buffer
+	tb.Render(&b)
+	out := b.String()
+	for _, frag := range []string{"== demo ==", "alpha", "beta-long-name", "2.5", "150µs", "note: a note with 1 arg"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Columns align: every data line at least as wide as the header.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 6 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(2.0)
+	tb.AddRow(2.125)
+	tb.AddRow(0.1)
+	if tb.Rows[0][0] != "2" || tb.Rows[1][0] != "2.125" || tb.Rows[2][0] != "0.1" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tb := New("csv demo", "a", "b")
+	tb.AddRow("x,y", "plain")
+	tb.AddRow("quote\"inside", 7)
+	tb.AddNote("footnote")
+	var b bytes.Buffer
+	tb.RenderCSV(&b)
+	out := b.String()
+	for _, frag := range []string{"# csv demo", "a,b", `"x,y",plain`, `"quote""inside",7`, "# footnote"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("csv missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:       "512B",
+		2048:      "2.00KiB",
+		3 << 20:   "3.00MiB",
+		5 << 30:   "5.00GiB",
+		1<<20 + 1: "1.00MiB",
+	}
+	for n, want := range cases {
+		if got := Bytes(n); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(10, 4); got != "2.5x" {
+		t.Errorf("Ratio = %q", got)
+	}
+	if got := Ratio(1, 0); got != "inf" {
+		t.Errorf("Ratio by zero = %q", got)
+	}
+}

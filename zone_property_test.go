@@ -1,0 +1,139 @@
+package drxmp
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"drxmp/internal/cluster"
+	"drxmp/internal/grid"
+)
+
+// TestQuickZonesPartitionArray: for random ranks/chunk shapes/bounds,
+// the per-rank zone boxes must tile the element domain exactly — every
+// element in exactly one box of exactly one rank — and OwnerOf must
+// agree with the tiling. This is the property that makes the paper's
+// "each process determines whether an element is local or remote" model
+// sound.
+func TestQuickZonesPartitionArray(t *testing.T) {
+	f := func(seed int64, ranksRaw, c0, c1, n0, n1 uint8) bool {
+		ranks := 1 + int(ranksRaw%8)
+		cs := []int{1 + int(c0%3), 1 + int(c1%4)}
+		nb := []int{2 + int(n0%14), 2 + int(n1%14)}
+		var failure error
+		err := cluster.Run(ranks, func(c *cluster.Comm) error {
+			f, err := Create(c, "zoneprop", Options{
+				DType: Float64, ChunkShape: cs, Bounds: nb,
+			})
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if c.Rank() != 0 {
+				return nil
+			}
+			owner := make(map[string]int)
+			for r := 0; r < ranks; r++ {
+				boxes, err := f.ZoneBoxes(r)
+				if err != nil {
+					return err
+				}
+				for _, box := range boxes {
+					var bad error
+					box.Iterate(grid.RowMajor, func(idx []int) bool {
+						key := fmt.Sprint(idx)
+						if prev, dup := owner[key]; dup {
+							bad = fmt.Errorf("element %v in zones of ranks %d and %d", idx, prev, r)
+							return false
+						}
+						owner[key] = r
+						// OwnerOf must agree with the box tiling.
+						got, err := f.OwnerOf(idx)
+						if err != nil {
+							bad = err
+							return false
+						}
+						if got != r {
+							bad = fmt.Errorf("OwnerOf(%v) = %d, but the element lies in rank %d's zone", idx, got, r)
+							return false
+						}
+						return true
+					})
+					if bad != nil {
+						return bad
+					}
+				}
+			}
+			if want := nb[0] * nb[1]; len(owner) != want {
+				return fmt.Errorf("zones cover %d of %d elements (ranks=%d chunks=%v bounds=%v)",
+					len(owner), want, ranks, cs, nb)
+			}
+			return nil
+		})
+		if err != nil {
+			failure = err
+		}
+		if failure != nil {
+			t.Log(failure)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickZonesSurviveExtension: the partition property must continue
+// to hold after arbitrary extensions (zones are recomputed over the
+// grown chunk space; no element may be orphaned or double-owned).
+func TestQuickZonesSurviveExtension(t *testing.T) {
+	f := func(seed int64, dimRaw, byRaw uint8) bool {
+		dim := int(dimRaw % 2)
+		by := 1 + int(byRaw%7)
+		err := cluster.Run(3, func(c *cluster.Comm) error {
+			f, err := Create(c, "zonegrow", Options{
+				DType: Float64, ChunkShape: []int{2, 3}, Bounds: []int{6, 6},
+			})
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := f.Extend(dim, by); err != nil {
+				return err
+			}
+			if c.Rank() != 0 {
+				return nil
+			}
+			nb := f.Bounds()
+			covered := 0
+			for r := 0; r < 3; r++ {
+				boxes, err := f.ZoneBoxes(r)
+				if err != nil {
+					return err
+				}
+				for _, box := range boxes {
+					covered += int(box.Volume())
+					// Boxes must stay inside the grown bounds.
+					for d := 0; d < 2; d++ {
+						if box.Lo[d] < 0 || box.Hi[d] > nb[d] {
+							return fmt.Errorf("zone box %v escapes bounds %v", box, nb)
+						}
+					}
+				}
+			}
+			if want := nb[0] * nb[1]; covered != want {
+				return fmt.Errorf("after extend(%d,%d): zones cover %d of %d elements", dim, by, covered, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
