@@ -1,0 +1,27 @@
+# Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
+GO ?= go
+
+.PHONY: all build vet fmt test race bench ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/mpool ./... -short
+
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+ci: build vet fmt test race bench

@@ -9,7 +9,10 @@ import (
 	"testing"
 	"time"
 
+	"drxmp"
+	"drxmp/internal/cluster"
 	"drxmp/internal/exp"
+	"drxmp/internal/pfs"
 	"drxmp/internal/report"
 )
 
@@ -131,6 +134,61 @@ func BenchmarkE14CacheAblation(b *testing.B) {
 
 func BenchmarkE15TransportAblation(b *testing.B) {
 	run(b, 1, exp.E15TransportAblation)
+}
+
+func BenchmarkE16ParallelIO(b *testing.B) {
+	run(b, 3, exp.E16ParallelIO)
+}
+
+// sectionBench measures one rank's ReadSection/WriteSection wall-clock
+// over an 8-server store that charges real service time, at a given
+// parallelism — the tentpole's before/after benchmark. Throughput is
+// meaningful (SetBytes); speedup = parallel MB/s over serial MB/s.
+func sectionBench(b *testing.B, parallelism int, write bool) {
+	const n, chunk = 256, 64
+	cost := pfs.CostModel{RequestOverhead: 150 * time.Microsecond, ByteTime: 10 * time.Nanosecond, RealTime: true}
+	err := cluster.Run(1, func(c *cluster.Comm) error {
+		f, err := drxmp.Create(c, "bench-sec", drxmp.Options{
+			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+			FS:          pfs.Options{Servers: 8, StripeSize: 32 << 10, Cost: cost},
+			Parallelism: parallelism,
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		full := drxmp.NewBox([]int{0, 0}, []int{n, n})
+		buf := make([]byte, full.Volume()*8)
+		if err := f.WriteSection(full, buf, drxmp.RowMajor); err != nil {
+			return err
+		}
+		b.SetBytes(int64(len(buf)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if write {
+				if err := f.WriteSection(full, buf, drxmp.RowMajor); err != nil {
+					return err
+				}
+			} else if err := f.ReadSection(full, buf, drxmp.RowMajor); err != nil {
+				return err
+			}
+		}
+		b.StopTimer()
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSectionRead(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { sectionBench(b, -1, false) })
+	b.Run("par8", func(b *testing.B) { sectionBench(b, 8, false) })
+}
+
+func BenchmarkSectionWrite(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { sectionBench(b, -1, true) })
+	b.Run("par8", func(b *testing.B) { sectionBench(b, 8, true) })
 }
 
 // reportSimTimes surfaces a table's simulated-time column as custom

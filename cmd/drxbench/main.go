@@ -7,8 +7,10 @@
 //	drxbench -exp fig1           # one experiment
 //	drxbench -exp e4 -scale full # full-size run
 //	drxbench -exp e7 -csv        # CSV output
+//	drxbench -exp e16 -par 16    # parallel section I/O, wider sweep
 //
-// Experiments: fig1 fig2 fig3 e1..e15 (e11-e15 are design ablations).
+// Experiments: fig1 fig2 fig3 e1..e16 (e11-e15 are design ablations,
+// e16 is the parallel-vs-serial section I/O study).
 package main
 
 import (
@@ -44,14 +46,19 @@ var experiments = []struct {
 	{"e13", "record lookup: binary search vs linear scan", exp.E13SearchAblation},
 	{"e14", "chunk cache (Mpool) size sweep", exp.E14CacheAblation},
 	{"e15", "transport ablation: in-process vs loopback TCP", exp.E15TransportAblation},
+	{"e16", "parallel vs serial section I/O (sharded pool + run-group workers)", exp.E16ParallelIO},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e15)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e16)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")
+	parFlag := flag.Int("par", exp.DefaultParallelism, "max section-I/O parallelism swept by e16")
 	flag.Parse()
+	if *parFlag > 0 {
+		exp.DefaultParallelism = *parFlag
+	}
 
 	if *list {
 		for _, e := range experiments {

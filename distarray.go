@@ -6,6 +6,7 @@ import (
 
 	"drxmp/internal/dtype"
 	"drxmp/internal/grid"
+	"drxmp/internal/par"
 	"drxmp/internal/rma"
 	"drxmp/internal/zone"
 )
@@ -139,8 +140,24 @@ func (d *DistArray) Acc(idx []int, v float64) error {
 	return d.win.Accumulate(owner, off, buf, d.f.m.DType, rma.Sum)
 }
 
+// sectionOwners returns the ranks whose zones intersect box. The
+// per-rank transfers touch disjoint regions of the user buffer, so
+// they can proceed concurrently.
+func (d *DistArray) sectionOwners(box Box) []int {
+	var owners []int
+	for r, ob := range d.boxes {
+		if !ob.Intersect(box).Empty() {
+			owners = append(owners, r)
+		}
+	}
+	return owners
+}
+
 // GetSection copies an arbitrary global sub-array into dst (dense over
 // box in the distribution order), pulling remote pieces one-sidedly.
+// Transfers from different owner ranks proceed in parallel (bounded by
+// the file's Parallelism knob) — each remote Get only locks its target
+// rank's window, so pulls from distinct owners overlap.
 func (d *DistArray) GetSection(box Box, dst []byte) error {
 	es := int64(d.f.m.DType.Size())
 	if int64(len(dst)) < box.Volume()*es {
@@ -148,13 +165,13 @@ func (d *DistArray) GetSection(box Box, dst []byte) error {
 	}
 	boxShape := box.Shape()
 	dstStrides := grid.Strides(boxShape, d.order)
+	owners := d.sectionOwners(box)
 	// Per owning rank, copy the intersection row by row (rows in the
 	// owner's layout order so each remote Get is one contiguous span).
-	for r, ob := range d.boxes {
+	return par.Do(d.f.Parallelism(), len(owners), func(oi int) error {
+		r := owners[oi]
+		ob := d.boxes[r]
 		ibox := ob.Intersect(box)
-		if ibox.Empty() {
-			continue
-		}
 		obShape := ob.Shape()
 		ownStrides := grid.Strides(obShape, d.order)
 		inner := 0
@@ -183,16 +200,14 @@ func (d *DistArray) GetSection(box Box, dst []byte) error {
 			copy(dst[dstOff*es:], row)
 			return true
 		})
-		if outerErr != nil {
-			return outerErr
-		}
-	}
-	return nil
+		return outerErr
+	})
 }
 
 // PutSection scatters src (dense over box in the distribution order)
 // into the owning zones, pushing remote pieces one-sidedly (GA_Put over
-// a region). Call Fence before dependent reads.
+// a region). Call Fence before dependent reads. Pushes to distinct
+// owner ranks proceed in parallel, like GetSection.
 func (d *DistArray) PutSection(box Box, src []byte) error {
 	es := int64(d.f.m.DType.Size())
 	if int64(len(src)) < box.Volume()*es {
@@ -200,11 +215,11 @@ func (d *DistArray) PutSection(box Box, src []byte) error {
 	}
 	boxShape := box.Shape()
 	srcStrides := grid.Strides(boxShape, d.order)
-	for r, ob := range d.boxes {
+	owners := d.sectionOwners(box)
+	return par.Do(d.f.Parallelism(), len(owners), func(oi int) error {
+		r := owners[oi]
+		ob := d.boxes[r]
 		ibox := ob.Intersect(box)
-		if ibox.Empty() {
-			continue
-		}
 		obShape := ob.Shape()
 		ownStrides := grid.Strides(obShape, d.order)
 		var outerErr error
@@ -225,11 +240,8 @@ func (d *DistArray) PutSection(box Box, src []byte) error {
 			}
 			return true
 		})
-		if outerErr != nil {
-			return outerErr
-		}
-	}
-	return nil
+		return outerErr
+	})
 }
 
 // FlushToFile collectively writes every zone back to the principal

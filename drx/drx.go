@@ -24,6 +24,7 @@ import (
 	"drxmp/internal/grid"
 	"drxmp/internal/meta"
 	"drxmp/internal/mpool"
+	"drxmp/internal/par"
 	"drxmp/internal/pfs"
 )
 
@@ -71,6 +72,13 @@ type Options struct {
 	// "server" (tests, examples); set Backend: pfs.Disk to persist, or
 	// more Servers/StripeSize to model a striped parallel file system.
 	FS pfs.Options
+	// Parallelism bounds the worker goroutines a single Read/Write call
+	// uses to move chunks through the buffer pool: 0 selects GOMAXPROCS,
+	// negative forces the serial path, larger values overlap more chunk
+	// I/O (useful when the backing store has real latency). The workers
+	// also read ahead: the next chunks fault into the pool while the
+	// current chunks scatter/gather.
+	Parallelism int
 	// SingleFile embeds the metadata in a reserved header region of the
 	// data file instead of a separate .xmd — the layout the paper's
 	// Section V leaves as future work. Chunk data starts at
@@ -94,6 +102,7 @@ type Array struct {
 	fsIsDisk   bool  // whether metadata must be persisted on Sync
 	singleFile bool  // metadata embedded in the data file header
 	dataOff    int64 // byte offset of chunk 0 in the data file
+	par        int   // Parallelism knob (see Options.Parallelism)
 
 	ci, wi []int // scratch
 }
@@ -143,6 +152,7 @@ func Create(path string, opts Options) (*Array, error) {
 		fs.Close()
 		return nil, err
 	}
+	a.par = opts.Parallelism
 	a.singleFile = opts.SingleFile
 	a.fsIsDisk = fsOpts.Backend == pfs.Disk
 	a.dirt = true
@@ -286,6 +296,22 @@ func (a *Array) FS() *pfs.FS { return a.fs }
 // CacheStats returns the chunk-cache counters.
 func (a *Array) CacheStats() mpool.Stats { return a.pool.Stats() }
 
+// SetParallelism adjusts the chunk-transfer parallelism knob after open
+// (same semantics as Options.Parallelism).
+func (a *Array) SetParallelism(n int) { a.par = n }
+
+// Parallelism returns the resolved worker bound for Read/Write calls,
+// additionally capped by the pool's safe concurrency (each worker pins
+// one page and prefetches ahead; the pool must fit both however the
+// page ids hash). Raise CacheChunks to allow more workers.
+func (a *Array) Parallelism() int {
+	n := par.Resolve(a.par)
+	if c := a.pool.SafeConcurrency(); n > c {
+		n = c
+	}
+	return n
+}
+
 // Extend grows dimension dim by `by` elements. Existing data never
 // moves; new chunks are appended to the file as needed and materialize
 // lazily (zero-filled) on first access.
@@ -419,7 +445,20 @@ func (a *Array) WriteFloat64s(box Box, vals []float64, order Order) error {
 	return a.Write(box, dtype.EncodeFloat64s(a.m.DType, vals), order)
 }
 
+// chunkTask is one chunk's share of a Read/Write call: its linear
+// address plus its intersection with the requested box. Tasks touch
+// disjoint chunk pages and disjoint user-buffer elements, so they can
+// proceed on concurrent workers.
+type chunkTask struct {
+	q          int64
+	cbox, ibox Box
+}
+
 // copyBox moves data between the chunk store and a dense user buffer.
+// The chunk list is dispatched across Parallelism() workers (each
+// pinning one page at a time through the sharded pool); workers also
+// prefetch the chunks `workers` ahead of their own, so the next pages
+// fault in while the current pages scatter/gather.
 func (a *Array) copyBox(box Box, user []byte, order Order, write bool) error {
 	if box.Rank() != a.Rank() {
 		return fmt.Errorf("drx: box rank %d != array rank %d", box.Rank(), a.Rank())
@@ -439,8 +478,9 @@ func (a *Array) copyBox(box Box, user []byte, order Order, write bool) error {
 	userStrides := grid.Strides(boxShape, order)
 	chunkStrides := grid.Strides(a.m.ChunkShape, a.m.MemOrder)
 
-	cover := grid.ChunkCover(box, a.m.ChunkShape)
+	var tasks []chunkTask
 	var outerErr error
+	cover := grid.ChunkCover(box, a.m.ChunkShape)
 	cover.Iterate(grid.RowMajor, func(cidx []int) bool {
 		q, err := a.m.Space.Map(cidx)
 		if err != nil {
@@ -452,53 +492,60 @@ func (a *Array) copyBox(box Box, user []byte, order Order, write bool) error {
 		if ibox.Empty() {
 			return true
 		}
-		var page []byte
-		if write && ibox.Equal(cbox) {
-			// Whole-chunk overwrite: skip the read fault.
-			page, err = a.pool.GetZero(q)
-		} else {
-			page, err = a.pool.Get(q)
-		}
-		if err != nil {
-			outerErr = err
-			return false
-		}
-		defer a.pool.Put(q)
-		if write {
-			if err := a.pool.MarkDirty(q); err != nil {
-				outerErr = err
-				return false
+		tasks = append(tasks, chunkTask{q: q, cbox: cbox, ibox: ibox})
+		return true
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	workers := a.Parallelism()
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	return par.Do(workers, len(tasks), func(i int) error {
+		if workers > 1 {
+			// Read-ahead: hint the chunk this worker would reach next.
+			if j := i + workers; j < len(tasks) {
+				if t := &tasks[j]; !(write && t.ibox.Equal(t.cbox)) {
+					a.pool.Prefetch(t.q)
+				}
 			}
 		}
+		return a.copyChunk(&tasks[i], box, user, order, userStrides, chunkStrides, es, write)
+	})
+}
 
-		// Fast path: same order on both sides — copy contiguous runs of
-		// the chunk's inner dimension.
-		if order == a.m.MemOrder {
-			ibox.Rows(a.m.MemOrder, func(start []int, n int) bool {
-				var chunkOff, userOff int64
-				for d := range start {
-					chunkOff += int64(start[d]-cbox.Lo[d]) * chunkStrides[d]
-					userOff += int64(start[d]-box.Lo[d]) * userStrides[d]
-				}
-				cp, up := page[chunkOff*es:(chunkOff+int64(n))*es], user[userOff*es:(userOff+int64(n))*es]
-				if write {
-					copy(cp, up)
-				} else {
-					copy(up, cp)
-				}
-				return true
-			})
-			return true
+// copyChunk moves one chunk's intersection between its pooled page and
+// the user buffer.
+func (a *Array) copyChunk(t *chunkTask, box Box, user []byte, order Order, userStrides, chunkStrides []int64, es int64, write bool) error {
+	var page []byte
+	var err error
+	if write && t.ibox.Equal(t.cbox) {
+		// Whole-chunk overwrite: skip the read fault.
+		page, err = a.pool.GetZero(t.q)
+	} else {
+		page, err = a.pool.Get(t.q)
+	}
+	if err != nil {
+		return err
+	}
+	defer a.pool.Put(t.q)
+	if write {
+		if err := a.pool.MarkDirty(t.q); err != nil {
+			return err
 		}
-		// Transposing path: element-wise placement (the on-the-fly
-		// transposition of Section II-A).
-		ibox.Iterate(a.m.MemOrder, func(idx []int) bool {
+	}
+
+	// Fast path: same order on both sides — copy contiguous runs of
+	// the chunk's inner dimension.
+	if order == a.m.MemOrder {
+		t.ibox.Rows(a.m.MemOrder, func(start []int, n int) bool {
 			var chunkOff, userOff int64
-			for d := range idx {
-				chunkOff += int64(idx[d]-cbox.Lo[d]) * chunkStrides[d]
-				userOff += int64(idx[d]-box.Lo[d]) * userStrides[d]
+			for d := range start {
+				chunkOff += int64(start[d]-t.cbox.Lo[d]) * chunkStrides[d]
+				userOff += int64(start[d]-box.Lo[d]) * userStrides[d]
 			}
-			cp, up := page[chunkOff*es:(chunkOff+1)*es], user[userOff*es:(userOff+1)*es]
+			cp, up := page[chunkOff*es:(chunkOff+int64(n))*es], user[userOff*es:(userOff+int64(n))*es]
 			if write {
 				copy(cp, up)
 			} else {
@@ -506,7 +553,23 @@ func (a *Array) copyBox(box Box, user []byte, order Order, write bool) error {
 			}
 			return true
 		})
+		return nil
+	}
+	// Transposing path: element-wise placement (the on-the-fly
+	// transposition of Section II-A).
+	t.ibox.Iterate(a.m.MemOrder, func(idx []int) bool {
+		var chunkOff, userOff int64
+		for d := range idx {
+			chunkOff += int64(idx[d]-t.cbox.Lo[d]) * chunkStrides[d]
+			userOff += int64(idx[d]-box.Lo[d]) * userStrides[d]
+		}
+		cp, up := page[chunkOff*es:(chunkOff+1)*es], user[userOff*es:(userOff+1)*es]
+		if write {
+			copy(cp, up)
+		} else {
+			copy(up, cp)
+		}
 		return true
 	})
-	return outerErr
+	return nil
 }

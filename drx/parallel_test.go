@@ -1,0 +1,150 @@
+package drx
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"drxmp/internal/pfs"
+)
+
+// TestParallelSerialReadWriteIdentical runs the same random workload
+// through a serial array and a parallel one (tiny cache, so eviction
+// and write-back fire constantly under concurrency) and checks every
+// read agrees, in both orders. The parallel array must also report
+// prefetch activity — proof the read-ahead path actually ran.
+func TestParallelSerialReadWriteIdentical(t *testing.T) {
+	const n = 90
+	mk := func(name string, parallelism, cache int) *Array {
+		a, err := Create(name, Options{
+			DType: Float64, ChunkShape: []int{8, 8}, Bounds: []int{n, n},
+			CacheChunks: cache, Parallelism: parallelism,
+			FS: pfs.Options{Servers: 4, StripeSize: 1 << 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	ser := mk("pr-ser", -1, 64)
+	defer ser.Close()
+	par := mk("pr-par", 8, 64)
+	defer par.Close()
+	if got := par.Parallelism(); got < 2 {
+		t.Fatalf("parallel array resolved to %d workers", got)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		lo := []int{rng.Intn(n), rng.Intn(n)}
+		hi := []int{lo[0] + 1 + rng.Intn(n-lo[0]), lo[1] + 1 + rng.Intn(n-lo[1])}
+		box := NewBox(lo, hi)
+		order := RowMajor
+		if trial%3 == 1 {
+			order = ColMajor
+		}
+		if trial%2 == 0 {
+			data := make([]byte, box.Volume()*8)
+			rng.Read(data)
+			if err := ser.Write(box, data, order); err != nil {
+				t.Fatal(err)
+			}
+			if err := par.Write(box, data, order); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			want := make([]byte, box.Volume()*8)
+			if err := ser.Read(box, want, order); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, box.Volume()*8)
+			if err := par.Read(box, got, order); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("trial %d: parallel read of %v (order %v) differs", trial, box, order)
+			}
+		}
+	}
+	full := NewBox([]int{0, 0}, []int{n, n})
+	want := make([]byte, n*n*8)
+	if err := ser.Read(full, want, RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, n*n*8)
+	if err := par.Read(full, got, RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("final full read differs")
+	}
+	if st := par.CacheStats(); st.Prefetches == 0 {
+		t.Fatalf("read-ahead never fired: %+v", st)
+	}
+}
+
+// TestParallelismCappedBySafeConcurrency: a tiny cache must force the
+// worker bound down so pinned pages plus prefetches can never exhaust
+// a pool shard.
+func TestParallelismCappedBySafeConcurrency(t *testing.T) {
+	a, err := Create("pr-cap", Options{
+		DType: Float64, ChunkShape: []int{4, 4}, Bounds: []int{16, 16},
+		CacheChunks: 2, Parallelism: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if got := a.Parallelism(); got != 1 {
+		t.Fatalf("Parallelism() = %d with a 2-chunk cache, want 1", got)
+	}
+	// The workload must still be correct at the degenerate bound.
+	full := NewBox([]int{0, 0}, []int{16, 16})
+	data := make([]byte, full.Volume()*8)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := a.Write(full, data, RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, full.Volume()*8)
+	if err := a.Read(full, got, RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, got) {
+		t.Fatal("round trip differs")
+	}
+}
+
+// TestParallelColMajorTranspose exercises the transposing (element-
+// wise) path under parallel workers.
+func TestParallelColMajorTranspose(t *testing.T) {
+	const n = 24
+	a, err := Create("pr-tr", Options{
+		DType: Float64, ChunkShape: []int{5, 3}, Bounds: []int{n, n},
+		Order: RowMajor, Parallelism: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	full := NewBox([]int{0, 0}, []int{n, n})
+	vals := make([]float64, n*n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	if err := a.WriteFloat64s(full, vals, RowMajor); err != nil {
+		t.Fatal(err)
+	}
+	colVals, err := a.ReadFloat64s(full, ColMajor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if got, want := colVals[j*n+i], vals[i*n+j]; got != want {
+				t.Fatalf("transposed (%d,%d) = %v, want %v", i, j, got, want)
+			}
+		}
+	}
+}

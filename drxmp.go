@@ -34,6 +34,7 @@ import (
 	"drxmp/internal/grid"
 	"drxmp/internal/meta"
 	"drxmp/internal/mpiio"
+	"drxmp/internal/par"
 	"drxmp/internal/pfs"
 	"drxmp/internal/zone"
 )
@@ -82,6 +83,13 @@ type Options struct {
 	Decomp zone.Kind
 	// CyclicBlock is the BLOCK_CYCLIC(k) block size (default 1).
 	CyclicBlock int
+	// Parallelism bounds the worker goroutines used per rank for
+	// independent section I/O and one-sided section transfers: 0 (the
+	// default) selects GOMAXPROCS, negative forces the serial path, and
+	// values above GOMAXPROCS are honored (the workers overlap I/O
+	// latency across the striped servers, not CPU). Collective I/O
+	// always runs serially — two-phase exchange owns its ordering.
+	Parallelism int
 }
 
 // File is one process's handle on a shared extendible array file. All
@@ -97,6 +105,7 @@ type File struct {
 	kind        zone.Kind
 	cyclicBlock int
 	diskBacked  bool
+	par         int // Parallelism knob (see Options.Parallelism)
 
 	decomp *zone.Decomp // cached; invalidated by extensions
 }
@@ -190,6 +199,7 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 		kind:        opts.Decomp,
 		cyclicBlock: opts.CyclicBlock,
 		diskBacked:  fsOpts.Backend == pfs.Disk,
+		par:         opts.Parallelism,
 	}
 	if err := f.persistMeta(); err != nil {
 		return nil, err
@@ -300,6 +310,13 @@ func (f *File) FS() *pfs.FS { return f.fs }
 
 // IO exposes the MPI-IO style handle (to tune collective buffering).
 func (f *File) IO() *mpiio.File { return f.io }
+
+// SetParallelism adjusts the per-rank I/O parallelism knob after open
+// (same semantics as Options.Parallelism).
+func (f *File) SetParallelism(n int) { f.par = n }
+
+// Parallelism returns the resolved worker bound for independent I/O.
+func (f *File) Parallelism() int { return par.Resolve(f.par) }
 
 // Decomp returns the current zone decomposition of the chunk grid. It
 // is recomputed from the replicated metadata after extensions, so every
@@ -508,6 +525,14 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 		return fmt.Errorf("drxmp: buffer of %d bytes for %d-byte section", len(buf), box.Volume()*es)
 	}
 	scratch := make([]byte, total)
+	// Independent I/O with more than one worker goes through the
+	// parallel run-group path; collective I/O always runs serially —
+	// the two-phase exchange owns its rank ordering.
+	if !collective {
+		if workers := f.Parallelism(); workers > 1 && len(runs) > 1 {
+			return f.sectionIOParallel(runs, scratch, buf, write, workers)
+		}
+	}
 	var blocks []mpiio.Block
 	var pruns []pfs.Run
 	if collective {

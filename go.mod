@@ -1,0 +1,3 @@
+module drxmp
+
+go 1.24

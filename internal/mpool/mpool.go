@@ -7,6 +7,15 @@
 // linear address F*(I) as the page id, which is exactly the "computed
 // access ... equivalent to a hashing scheme" the paper highlights: the
 // cache key is derived arithmetically, no index structure is needed).
+//
+// The pool is sharded for concurrency: page ids hash onto N independent
+// shards, each with its own lock and LRU list, so goroutines touching
+// different pages rarely contend. Page faults read from the backing
+// store *outside* the shard lock (waiters on the same page block on a
+// per-frame ready channel), and counters are atomics, so Stats never
+// blocks the hot path. Small pools (capacity below the sharding
+// threshold) use a single shard and behave exactly like the classic
+// global-LRU pool.
 package mpool
 
 import (
@@ -14,9 +23,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
-// Backing abstracts the store behind the pool (the chunk file).
+// Backing abstracts the store behind the pool (the chunk file). Its
+// methods must be safe for concurrent use (pfs.FS is).
 type Backing interface {
 	// ReadPage fills buf with page id's content.
 	ReadPage(id int64, buf []byte) error
@@ -30,6 +41,9 @@ type Stats struct {
 	Misses     int64
 	Evictions  int64
 	WriteBacks int64
+	// Prefetches counts pages faulted in by Prefetch (not part of
+	// Hits/Misses: speculative reads are accounted separately).
+	Prefetches int64
 }
 
 type frame struct {
@@ -38,6 +52,44 @@ type frame struct {
 	dirty bool
 	pins  int
 	lru   *list.Element // nil while pinned (not evictable)
+
+	// ready is closed once buf holds valid page content (or err is
+	// set). Frames are installed in the shard map before their fault
+	// read completes so concurrent Gets of the same page coalesce onto
+	// one backing read.
+	ready chan struct{}
+	err   error
+}
+
+// shard is one lock domain: a fraction of the pool's frames with its
+// own LRU list.
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[int64]*frame
+	lru      *list.List // of int64 page ids, front = most recent
+}
+
+const (
+	// maxShards bounds the shard count.
+	maxShards = 16
+	// minShardCapacity is the smallest per-shard capacity worth
+	// sharding for; below it a single shard preserves exact global-LRU
+	// semantics (and keeps tiny test pools deterministic).
+	minShardCapacity = 8
+	// prefetchWorkers bounds in-flight speculative reads.
+	prefetchWorkers = 4
+)
+
+func numShards(capacity int) int {
+	n := capacity / minShardCapacity
+	if n > maxShards {
+		n = maxShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Pool is the buffer pool. All methods are safe for concurrent use.
@@ -45,11 +97,15 @@ type Pool struct {
 	pageSize int
 	capacity int
 	backing  Backing
+	shards   []*shard
 
-	mu     sync.Mutex
-	frames map[int64]*frame
-	lru    *list.List // of int64 page ids, front = most recent
-	stats  Stats
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	writeBacks atomic.Int64
+	prefetches atomic.Int64
+
+	prefetchSem chan struct{}
 }
 
 // New creates a pool of `capacity` pages of `pageSize` bytes over the
@@ -61,119 +117,236 @@ func New(pageSize, capacity int, backing Backing) (*Pool, error) {
 	if backing == nil {
 		return nil, errors.New("mpool: nil backing")
 	}
-	return &Pool{
-		pageSize: pageSize,
-		capacity: capacity,
-		backing:  backing,
-		frames:   map[int64]*frame{},
-		lru:      list.New(),
-	}, nil
+	n := numShards(capacity)
+	p := &Pool{
+		pageSize:    pageSize,
+		capacity:    capacity,
+		backing:     backing,
+		shards:      make([]*shard, n),
+		prefetchSem: make(chan struct{}, prefetchWorkers),
+	}
+	base, extra := capacity/n, capacity%n
+	for i := range p.shards {
+		c := base
+		if i < extra {
+			c++
+		}
+		p.shards[i] = &shard{capacity: c, frames: map[int64]*frame{}, lru: list.New()}
+	}
+	return p, nil
 }
 
 // PageSize returns the configured page size.
 func (p *Pool) PageSize() int { return p.pageSize }
 
+// Capacity returns the configured pool capacity in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// ShardCapacity returns the smallest per-shard capacity — the safe
+// upper bound on pages concurrently pinned by independent goroutines
+// (each pinning one page), however the ids hash.
+func (p *Pool) ShardCapacity() int { return p.shards[len(p.shards)-1].capacity }
+
+// SafeConcurrency returns how many goroutines may concurrently hold
+// one pinned page each while also issuing Prefetch hints, without any
+// risk of exhausting a shard ("all pages pinned"): the worst case puts
+// every pinned page and every in-flight prefetch frame in the same
+// shard, so the bound is ShardCapacity minus the prefetch workers.
+// Grow the pool capacity to raise it.
+func (p *Pool) SafeConcurrency() int {
+	c := p.ShardCapacity() - prefetchWorkers
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// shardOf hashes a page id onto its shard. Fibonacci hashing spreads
+// both consecutive and strided id sequences.
+func (p *Pool) shardOf(id int64) *shard {
+	if len(p.shards) == 1 {
+		return p.shards[0]
+	}
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return p.shards[h>>32%uint64(len(p.shards))]
+}
+
 // Stats returns a snapshot of the counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Hits:       p.hits.Load(),
+		Misses:     p.misses.Load(),
+		Evictions:  p.evictions.Load(),
+		WriteBacks: p.writeBacks.Load(),
+		Prefetches: p.prefetches.Load(),
+	}
 }
 
 // Get pins page id and returns its buffer. The caller may read and —
 // if it calls MarkDirty — mutate the buffer, and must Put it when done.
 // A missing page is faulted in from the backing store, evicting the
-// least-recently-used unpinned page if the pool is full.
-func (p *Pool) Get(id int64) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.pinLocked(f)
-		return f.buf, nil
-	}
-	p.stats.Misses++
-	f, err := p.allocLocked(id)
-	if err != nil {
-		return nil, err
-	}
-	// Fault in outside the lock would allow races on the same page;
-	// keep it simple and correct: read under the lock (the pool is a
-	// serial-library cache; contention is not the concern here).
-	if err := p.backing.ReadPage(id, f.buf); err != nil {
-		delete(p.frames, id)
-		return nil, err
-	}
-	p.pinLocked(f)
-	return f.buf, nil
-}
+// least-recently-used unpinned page of its shard if the shard is full.
+func (p *Pool) Get(id int64) ([]byte, error) { return p.get(id, true) }
 
 // GetZero pins page id without faulting from the backing store,
 // returning a zeroed buffer. Used when the caller will overwrite the
 // entire page (avoids a pointless read of a brand-new chunk).
-func (p *Pool) GetZero(id int64) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.frames[id]; ok {
-		p.stats.Hits++
-		p.pinLocked(f)
+func (p *Pool) GetZero(id int64) ([]byte, error) { return p.get(id, false) }
+
+func (p *Pool) get(id int64, fault bool) ([]byte, error) {
+	s := p.shardOf(id)
+	s.mu.Lock()
+	if f, ok := s.frames[id]; ok {
+		p.hits.Add(1)
+		s.pinLocked(f)
+		s.mu.Unlock()
+		<-f.ready
+		if f.err != nil {
+			// The faulting goroutine removed the frame; the caller never
+			// received the buffer, so no Put follows.
+			return nil, f.err
+		}
 		return f.buf, nil
 	}
-	p.stats.Misses++
-	f, err := p.allocLocked(id)
+	p.misses.Add(1)
+	f, err := p.allocLocked(s, id)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	p.pinLocked(f)
+	s.pinLocked(f)
+	if !fault {
+		close(f.ready)
+		s.mu.Unlock()
+		return f.buf, nil
+	}
+	s.mu.Unlock()
+	// Fault in outside the lock: other pages of this shard stay
+	// accessible, and concurrent Gets of this page wait on f.ready.
+	if rerr := p.backing.ReadPage(id, f.buf); rerr != nil {
+		s.mu.Lock()
+		f.err = rerr
+		delete(s.frames, id)
+		s.mu.Unlock()
+		close(f.ready)
+		return nil, rerr
+	}
+	close(f.ready)
 	return f.buf, nil
 }
 
-func (p *Pool) pinLocked(f *frame) {
+// Prefetch hints that page id will be needed soon. If the page is
+// absent and a prefetch worker is available, the page is faulted in
+// asynchronously. A full shard only yields a slot by dropping a
+// *clean* unpinned page — read-ahead must keep working in the
+// steady-state scan (cache thrashing) regime, but a speculative read
+// never triggers a write-back and never stalls on a pinned page.
+// Errors are dropped — the later Get repeats the read and reports them.
+func (p *Pool) Prefetch(id int64) {
+	select {
+	case p.prefetchSem <- struct{}{}:
+	default:
+		return
+	}
+	s := p.shardOf(id)
+	s.mu.Lock()
+	if _, ok := s.frames[id]; ok || (len(s.frames) >= s.capacity && !p.evictCleanLocked(s)) {
+		s.mu.Unlock()
+		<-p.prefetchSem
+		return
+	}
+	// Install pinned so the loading frame cannot be chosen as an
+	// eviction victim; the worker unpins on completion.
+	f := &frame{id: id, buf: make([]byte, p.pageSize), pins: 1, ready: make(chan struct{})}
+	s.frames[id] = f
+	s.mu.Unlock()
+	p.prefetches.Add(1)
+	go func() {
+		defer func() { <-p.prefetchSem }()
+		err := p.backing.ReadPage(id, f.buf)
+		s.mu.Lock()
+		if err != nil {
+			f.err = err
+			delete(s.frames, id)
+			s.mu.Unlock()
+			close(f.ready)
+			return
+		}
+		f.pins--
+		if f.pins == 0 {
+			f.lru = s.lru.PushFront(f.id)
+		}
+		s.mu.Unlock()
+		close(f.ready)
+	}()
+}
+
+func (s *shard) pinLocked(f *frame) {
 	f.pins++
 	if f.lru != nil {
-		p.lru.Remove(f.lru)
+		s.lru.Remove(f.lru)
 		f.lru = nil
 	}
 }
 
-// allocLocked finds a free frame (evicting if needed) and installs an
-// empty zeroed frame for id.
-func (p *Pool) allocLocked(id int64) (*frame, error) {
-	if len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
+// allocLocked finds a free frame in shard s (evicting if needed) and
+// installs an empty zeroed frame for id with an open ready channel.
+func (p *Pool) allocLocked(s *shard, id int64) (*frame, error) {
+	if len(s.frames) >= s.capacity {
+		if err := p.evictLocked(s); err != nil {
 			return nil, err
 		}
 	}
-	f := &frame{id: id, buf: make([]byte, p.pageSize)}
-	p.frames[id] = f
+	f := &frame{id: id, buf: make([]byte, p.pageSize), ready: make(chan struct{})}
+	s.frames[id] = f
 	return f, nil
 }
 
-func (p *Pool) evictLocked() error {
-	back := p.lru.Back()
+// evictCleanLocked drops the least-recently-used *clean* unpinned page
+// of shard s, reporting whether one existed.
+func (p *Pool) evictCleanLocked(s *shard) bool {
+	for e := s.lru.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(int64)
+		if f := s.frames[id]; !f.dirty {
+			s.lru.Remove(e)
+			delete(s.frames, id)
+			p.evictions.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) evictLocked(s *shard) error {
+	back := s.lru.Back()
 	if back == nil {
 		return errors.New("mpool: all pages pinned")
 	}
 	victimID := back.Value.(int64)
-	f := p.frames[victimID]
+	f := s.frames[victimID]
+	// LRU members are unpinned, hence fully loaded (ready closed).
 	if f.dirty {
 		if err := p.backing.WritePage(f.id, f.buf); err != nil {
 			return fmt.Errorf("mpool: write-back of page %d: %w", f.id, err)
 		}
-		p.stats.WriteBacks++
+		p.writeBacks.Add(1)
 	}
-	p.lru.Remove(back)
-	delete(p.frames, victimID)
-	p.stats.Evictions++
+	s.lru.Remove(back)
+	delete(s.frames, victimID)
+	p.evictions.Add(1)
 	return nil
 }
 
 // MarkDirty flags a pinned page as modified; it will be written back on
 // eviction or Flush.
 func (p *Pool) MarkDirty(id int64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok || f.pins == 0 {
 		return fmt.Errorf("mpool: MarkDirty of unpinned page %d", id)
 	}
@@ -183,39 +356,50 @@ func (p *Pool) MarkDirty(id int64) error {
 
 // Put unpins a page previously returned by Get/GetZero.
 func (p *Pool) Put(id int64) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, ok := p.frames[id]
+	s := p.shardOf(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.frames[id]
 	if !ok || f.pins == 0 {
 		return fmt.Errorf("mpool: Put of unpinned page %d", id)
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lru = p.lru.PushFront(f.id)
+		f.lru = s.lru.PushFront(f.id)
 	}
 	return nil
 }
 
-// Flush writes back every dirty page (pinned or not) without evicting.
+// Flush writes back every unpinned dirty page without evicting. Pages
+// pinned at the time of the call are skipped — their holders may still
+// be mutating the buffer; they write back on eviction or a later Flush
+// (callers flush after all transfers have unpinned, as drx.Sync does).
 func (p *Pool) Flush() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, f := range p.frames {
-		if !f.dirty {
-			continue
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for _, f := range s.frames {
+			if !f.dirty || f.pins > 0 {
+				continue
+			}
+			if err := p.backing.WritePage(f.id, f.buf); err != nil {
+				s.mu.Unlock()
+				return fmt.Errorf("mpool: flush of page %d: %w", f.id, err)
+			}
+			f.dirty = false
+			p.writeBacks.Add(1)
 		}
-		if err := p.backing.WritePage(f.id, f.buf); err != nil {
-			return fmt.Errorf("mpool: flush of page %d: %w", f.id, err)
-		}
-		f.dirty = false
-		p.stats.WriteBacks++
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // Len returns the number of resident pages.
 func (p *Pool) Len() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.frames)
+		s.mu.Unlock()
+	}
+	return n
 }

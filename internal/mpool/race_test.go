@@ -1,0 +1,232 @@
+package mpool
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentStress hammers Get/GetZero/MarkDirty/Put/Flush/Prefetch/
+// Stats from many goroutines. Run under -race this is the pool's
+// concurrency-safety net. Pages 0..pages-1 are read-only; each
+// goroutine additionally owns a private stripe of writable pages
+// (concurrent clients of one pool must partition the pages they
+// mutate, as drx's parallel section transfer does). Every page holds
+// one byte value everywhere, so a mixed-up frame or torn transfer
+// shows as a content mismatch.
+func TestConcurrentStress(t *testing.T) {
+	const (
+		pageSize   = 64
+		capacity   = 64 // 8 shards x 8 pages
+		pages      = 128
+		goroutines = 16
+		iters      = 300
+	)
+	b := newBacking()
+	for id := int64(0); id < pages; id++ {
+		pg := make([]byte, pageSize)
+		for i := range pg {
+			pg[i] = byte(id)
+		}
+		b.pages[id] = pg
+	}
+	p, err := New(pageSize, capacity, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 8 {
+		t.Fatalf("shards = %d, want 8", p.Shards())
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			want := make([]byte, pageSize)
+			for i := 0; i < iters; i++ {
+				id := int64((g*31 + i*7) % pages)
+				switch i % 5 {
+				case 0: // read-modify-write of a goroutine-private page
+					mine := int64(pages + g*8 + i%8)
+					buf, err := p.Get(mine)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if err := p.MarkDirty(mine); err != nil {
+						fail(err)
+						p.Put(mine)
+						return
+					}
+					for j := range buf {
+						buf[j] = byte(mine)
+					}
+					if err := p.Put(mine); err != nil {
+						fail(err)
+						return
+					}
+				case 1: // flush
+					if err := p.Flush(); err != nil {
+						fail(err)
+						return
+					}
+				case 2: // prefetch a nearby page
+					p.Prefetch(int64((g*31 + i*7 + 1) % pages))
+				case 3: // stats must never block or race
+					_ = p.Stats()
+					_ = p.Len()
+				default: // plain read
+					buf, err := p.Get(id)
+					if err != nil {
+						fail(err)
+						return
+					}
+					for j := range want {
+						want[j] = byte(id)
+					}
+					if !bytes.Equal(buf, want) {
+						fail(fmt.Errorf("page %d content %v", id, buf[:4]))
+						p.Put(id)
+						return
+					}
+					if err := p.Put(id); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After the dust settles every backing page must hold its id —
+	// read-only pages untouched, writer pages flushed with their value.
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, pg := range b.pages {
+		for j := range pg {
+			if pg[j] != byte(id) {
+				t.Fatalf("backing page %d byte %d = %d", id, j, pg[j])
+			}
+		}
+	}
+}
+
+// TestConcurrentSamePage coalesces many concurrent faults of one page
+// into one backing read per residency.
+func TestConcurrentSamePage(t *testing.T) {
+	b := newBacking()
+	b.pages[3] = []byte{7, 7, 7, 7}
+	p, err := New(4, 16, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf, err := p.Get(3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if buf[0] != 7 {
+				errs <- fmt.Errorf("content %v", buf)
+				return
+			}
+			errs <- p.Put(3)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.reads != 1 {
+		t.Fatalf("backing reads = %d, want 1 (coalesced fault)", b.reads)
+	}
+}
+
+// TestPrefetchWarmsCache: a prefetched page hits on the next Get; in a
+// full shard, prefetch recycles a clean unpinned page but never touches
+// dirty or pinned ones.
+func TestPrefetchWarmsCache(t *testing.T) {
+	b := newBacking()
+	for id := int64(1); id < 10; id++ {
+		b.pages[id] = []byte{byte(id), 0, 0, 0}
+	}
+	p, err := New(4, 2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Prefetch(1)
+	// Wait for the async load by getting the page (waits on ready).
+	buf, err := p.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("content %v", buf)
+	}
+	st := p.Stats()
+	if st.Prefetches != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats %+v, want 1 prefetch + 1 hit", st)
+	}
+	// Pool now holds 1 (pinned) and, after this, 2 (dirty): no clean
+	// unpinned victim, so prefetch of a new page must be a no-op.
+	if _, err := p.GetZero(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.MarkDirty(2); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(2)
+	p.Prefetch(9)
+	if st := p.Stats(); st.Prefetches != 1 {
+		t.Fatalf("prefetch displaced a dirty/pinned page: %+v", st)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	// Flush cleans page 2; prefetch may now recycle its slot.
+	if err := p.Put(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p.Prefetch(9)
+	if buf, err = p.Get(9); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 9 {
+		t.Fatalf("content %v", buf)
+	}
+	p.Put(9)
+	// Misses stays at 1 (the GetZero of page 2): page 9 arrived via
+	// prefetch and hit.
+	if st := p.Stats(); st.Prefetches != 2 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want second prefetch and no extra miss", st)
+	}
+}

@@ -1,0 +1,76 @@
+// Package par is the bounded worker pool shared by the section-I/O hot
+// paths: a fixed number of goroutines draining an indexed work list,
+// stopping at the first error. It is deliberately tiny — deterministic
+// fan-out over pre-computed work items, no channels of work structs, no
+// context plumbing — because the callers (drx, drxmp, distarray) all
+// reduce to "run fn(i) for i in [0,n) with at most w goroutines".
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Parallelism knob value to a worker count: 0 selects
+// GOMAXPROCS (auto), negative selects 1 (serial), positive is taken
+// as-is. I/O-bound callers may usefully pass values above GOMAXPROCS —
+// workers overlap I/O latency, not CPU.
+func Resolve(knob int) int {
+	switch {
+	case knob == 0:
+		return runtime.GOMAXPROCS(0)
+	case knob < 0:
+		return 1
+	default:
+		return knob
+	}
+}
+
+// Do runs fn(i) for every i in [0, n), using at most `workers`
+// goroutines, and returns the first error. After an error, remaining
+// indices are skipped (in-flight calls still finish). workers <= 1 or
+// n <= 1 degenerates to a plain serial loop with no goroutines — the
+// deterministic fallback path.
+func Do(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		failed  atomic.Bool
+		errOnce sync.Once
+		first   error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

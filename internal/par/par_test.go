@@ -1,0 +1,61 @@
+package par
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if Resolve(-1) != 1 {
+		t.Fatal("negative knob must be serial")
+	}
+	if Resolve(5) != 5 {
+		t.Fatal("positive knob taken as-is")
+	}
+	if Resolve(0) < 1 {
+		t.Fatal("auto must be at least 1")
+	}
+}
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		const n = 100
+		var seen [n]atomic.Int32
+		if err := Do(workers, n, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range seen {
+			if seen[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, seen[i].Load())
+			}
+		}
+	}
+}
+
+func TestDoStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := Do(4, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("no early stop: %d calls", n)
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	if err := Do(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

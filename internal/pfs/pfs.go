@@ -48,6 +48,13 @@ type CostModel struct {
 	SeekLatency time.Duration
 	// ByteTime is charged per byte transferred.
 	ByteTime time.Duration
+	// RealTime makes each server actually sleep its charged service
+	// time while holding its lock: requests to one server serialize
+	// (a disk services one request at a time) while requests to
+	// different servers overlap. This turns the simulated cost into
+	// wall-clock time, so benchmarks can measure how well concurrent
+	// clients overlap I/O latency across servers.
+	RealTime bool
 }
 
 // DefaultCost models a commodity 2007-era cluster disk behind a network
@@ -199,6 +206,11 @@ func (sv *server) charge(n int64, off int64, write bool) {
 	}
 	sv.stats.Busy += d
 	sv.lastEnd = off + n
+	if sv.cost.RealTime && d > 0 {
+		// Sleep under the server lock: this server is busy for d while
+		// the other servers keep serving (see CostModel.RealTime).
+		time.Sleep(d)
+	}
 }
 
 func (sv *server) writeAt(p []byte, off int64) error {

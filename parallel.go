@@ -1,0 +1,139 @@
+package drxmp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"drxmp/internal/par"
+)
+
+// This file is the parallel half of the independent section-I/O path:
+// the sorted ioRun list is packed into contiguous "run groups" (the
+// same lossless coalescing the serial path performs, capped so one
+// group is roughly one chunk or one stripe unit) and the groups are
+// dispatched across a bounded worker pool. Reads are pipelined —
+// worker goroutines keep the next groups' extents in flight while the
+// caller scatters the groups that have already landed (read-ahead) —
+// and writes gather+write per group concurrently. Group scratch
+// regions and user-buffer element runs are disjoint across groups, so
+// workers never share mutable bytes.
+
+// runGroup is one contiguous file extent covering a consecutive slice
+// of the sorted run list, plus its region of the packed scratch buffer.
+type runGroup struct {
+	fileOff int64 // first byte of the extent
+	bytes   int64 // extent length (== summed run bytes; runs are contiguous)
+	at      int64 // scratch offset of the group's first run
+	runs    []ioRun
+}
+
+// runGroups packs sorted runs into contiguous groups of at most
+// groupMax bytes (always at least one run per group). Runs are merged
+// into a group only when byte-adjacent in the file, exactly like the
+// serial path's coalescing, so the request pattern the servers see is
+// the serial pattern split at chunk/stripe-sized boundaries.
+func runGroups(runs []ioRun, es, groupMax int64) []runGroup {
+	var groups []runGroup
+	var at int64
+	for i, r := range runs {
+		l := r.elems * es
+		if n := len(groups); n > 0 {
+			g := &groups[n-1]
+			if g.fileOff+g.bytes == r.fileOff && g.bytes+l <= groupMax {
+				g.bytes += l
+				g.runs = runs[i-len(g.runs) : i+1]
+				at += l
+				continue
+			}
+		}
+		groups = append(groups, runGroup{fileOff: r.fileOff, bytes: l, at: at, runs: runs[i : i+1]})
+		at += l
+	}
+	return groups
+}
+
+// groupMaxBytes picks the group granularity: one chunk, or one stripe
+// unit if chunks are smaller — small enough to spread a large transfer
+// across all servers, large enough not to inflate the request count.
+func (f *File) groupMaxBytes() int64 {
+	m := f.m.ChunkBytes()
+	if s := f.fs.StripeSize(); s > m {
+		m = s
+	}
+	return m
+}
+
+// sectionIOParallel performs an independent section read or write by
+// dispatching run groups across `workers` goroutines.
+func (f *File) sectionIOParallel(runs []ioRun, scratch, user []byte, write bool, workers int) error {
+	es := int64(f.m.DType.Size())
+	groups := runGroups(runs, es, f.groupMaxBytes())
+	if write {
+		// Gather + write per group; groups proceed concurrently.
+		return par.Do(workers, len(groups), func(i int) error {
+			g := &groups[i]
+			f.scatterGather(g.runs, scratch[g.at:g.at+g.bytes], user, false)
+			_, err := f.fs.WriteAt(scratch[g.at:g.at+g.bytes], g.fileOff)
+			return err
+		})
+	}
+	return f.readGroupsAhead(groups, scratch, user, workers)
+}
+
+// readGroupsAhead reads run groups with explicit read-ahead: up to
+// `workers` extents are in flight while the calling goroutine scatters
+// every group that has already landed, so the next groups' pages are
+// being fetched while the current group scatters.
+func (f *File) readGroupsAhead(groups []runGroup, scratch, user []byte, workers int) error {
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	idx := make(chan int, len(groups))
+	for i := range groups {
+		idx <- i
+	}
+	close(idx)
+	type result struct {
+		i   int
+		err error
+	}
+	done := make(chan result)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					return // stop dispatching reads after the first error
+				}
+				g := &groups[i]
+				_, err := f.fs.ReadAt(scratch[g.at:g.at+g.bytes], g.fileOff)
+				if err != nil {
+					failed.Store(true)
+				}
+				done <- result{i, err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	var firstErr error
+	for r := range done {
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain; skip scatter after failure
+		}
+		g := &groups[r.i]
+		f.scatterGather(g.runs, scratch[g.at:g.at+g.bytes], user, true)
+	}
+	return firstErr
+}
