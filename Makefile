@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
 GO ?= go
 
-.PHONY: all build vet fmt test race bench ci
+.PHONY: all build vet fmt test race race-collective bench bench-collective ci
 
 all: build
 
@@ -21,7 +21,19 @@ test:
 race:
 	$(GO) test -race ./internal/mpool ./... -short
 
+# Collective-I/O differential + queue stress tests under the race
+# detector (drxmp_collective_par_test.go, internal/pfs/queue_race_test.go,
+# internal/mpiio collective suites). The heavy suites skip under the
+# -short race target above and run full-size here.
+race-collective:
+	$(GO) test -race -run Collective . ./internal/pfs ./internal/mpiio
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-ci: build vet fmt test race bench
+# Collective-benchmark smoke: one iteration of BenchmarkCollective
+# (parallel vs serial two-phase over real-time servers).
+bench-collective:
+	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
+
+ci: build vet fmt test race race-collective bench bench-collective

@@ -8,9 +8,11 @@
 //	drxbench -exp e4 -scale full # full-size run
 //	drxbench -exp e7 -csv        # CSV output
 //	drxbench -exp e16 -par 16    # parallel section I/O, wider sweep
+//	drxbench -exp e17 -cpar 16   # parallel collective, wider sweep
 //
-// Experiments: fig1 fig2 fig3 e1..e16 (e11-e15 are design ablations,
-// e16 is the parallel-vs-serial section I/O study).
+// Experiments: fig1 fig2 fig3 e1..e17 (e11-e15 are design ablations,
+// e16 is the parallel-vs-serial section I/O study, e17 the parallel
+// two-phase collective study).
 package main
 
 import (
@@ -47,17 +49,22 @@ var experiments = []struct {
 	{"e14", "chunk cache (Mpool) size sweep", exp.E14CacheAblation},
 	{"e15", "transport ablation: in-process vs loopback TCP", exp.E15TransportAblation},
 	{"e16", "parallel vs serial section I/O (sharded pool + run-group workers)", exp.E16ParallelIO},
+	{"e17", "parallel two-phase collective (per-aggregator workers + pfs server queues)", exp.E17CollectiveParallelism},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e16)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e17)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parFlag := flag.Int("par", exp.DefaultParallelism, "max section-I/O parallelism swept by e16")
+	cparFlag := flag.Int("cpar", exp.DefaultCollectiveParallelism, "max collective parallelism swept by e17")
 	flag.Parse()
 	if *parFlag > 0 {
 		exp.DefaultParallelism = *parFlag
+	}
+	if *cparFlag > 0 {
+		exp.DefaultCollectiveParallelism = *cparFlag
 	}
 
 	if *list {

@@ -1,0 +1,102 @@
+package drxmp_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/cluster"
+	"drxmp/internal/pfs"
+)
+
+// BenchmarkCollective measures the parallel two-phase collective
+// against the serial one (the acceptance benchmark of the collective
+// parallelization): 4 ranks collectively read/write slab sections of an
+// f64 array over 16 real-time striped servers, with the aggregate phase
+// running serial (CollectiveParallelism -1) or on 8 workers per rank.
+// The servers sleep their charged service time inside their request
+// queues, so the parallel/serial ns-per-op ratio is genuine wall-clock
+// overlap: parallel aggregators keep every server busy, serial ones
+// leave most idle. Throughput (MB/s) counts the bytes all ranks move.
+func BenchmarkCollective(b *testing.B) {
+	const (
+		n       = 256
+		chunk   = 32
+		ranks   = 4
+		servers = 16
+	)
+	stripe := int64(8 << 10)
+	cost := pfs.CostModel{
+		RequestOverhead: 150 * time.Microsecond,
+		ByteTime:        10 * time.Nanosecond,
+		RealTime:        true,
+	}
+	slab := func(r int) drxmp.Box {
+		q := (n + ranks - 1) / ranks
+		hi := (r + 1) * q
+		if hi > n {
+			hi = n
+		}
+		return drxmp.NewBox([]int{r * q, 0}, []int{hi, n})
+	}
+	for _, write := range []bool{false, true} {
+		op := "read"
+		if write {
+			op = "write"
+		}
+		for _, cfg := range []struct {
+			name    string
+			workers int
+		}{{"serial", -1}, {"par8", 8}} {
+			b.Run(op+"/"+cfg.name, func(b *testing.B) {
+				b.SetBytes(int64(n) * n * 8)
+				err := cluster.Run(ranks, func(c *cluster.Comm) error {
+					f, err := drxmp.Create(c, fmt.Sprintf("bc-%s-%s", op, cfg.name), drxmp.Options{
+						DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+						FS:                    pfs.Options{Servers: servers, StripeSize: stripe, Cost: cost},
+						CollectiveParallelism: cfg.workers,
+					})
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					// Stripe-sized rounds: each aggregate-phase request
+					// lands on one server, so in-flight depth decides how
+					// many of the 16 servers stay busy.
+					f.IO().CollectiveBufferSize = stripe
+
+					box := slab(c.Rank())
+					buf := make([]byte, box.Volume()*8)
+					for i := range buf {
+						buf[i] = byte(c.Rank() + i)
+					}
+					// Seed so reads hit written data, then time b.N ops.
+					if err := f.WriteSectionAll(box, buf, drxmp.RowMajor); err != nil {
+						return err
+					}
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if write {
+							err = f.WriteSectionAll(box, buf, drxmp.RowMajor)
+						} else {
+							err = f.ReadSectionAll(box, buf, drxmp.RowMajor)
+						}
+						if err != nil {
+							return err
+						}
+					}
+					return c.Barrier()
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -87,9 +87,16 @@ type Options struct {
 	// independent section I/O and one-sided section transfers: 0 (the
 	// default) selects GOMAXPROCS, negative forces the serial path, and
 	// values above GOMAXPROCS are honored (the workers overlap I/O
-	// latency across the striped servers, not CPU). Collective I/O
-	// always runs serially — two-phase exchange owns its ordering.
+	// latency across the striped servers, not CPU).
 	Parallelism int
+	// CollectiveParallelism bounds the worker goroutines each rank uses
+	// inside a collective call (ReadSectionAll/WriteSectionAll): the
+	// two-phase aggregate-stage file requests and exchange-stage piece
+	// carving fan out across up to this many workers, with the same
+	// 0=auto / negative=serial semantics as Parallelism. The parallel
+	// and serial collective paths produce byte-identical arrays; the
+	// workers only change how much per-server service time overlaps.
+	CollectiveParallelism int
 }
 
 // File is one process's handle on a shared extendible array file. All
@@ -201,7 +208,13 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 		diskBacked:  fsOpts.Backend == pfs.Disk,
 		par:         opts.Parallelism,
 	}
+	f.io.Parallelism = opts.CollectiveParallelism
 	if err := f.persistMeta(); err != nil {
+		// Rank 0 owns the store it just created: release it (queue
+		// goroutines, disk files) rather than leak it on a failed create.
+		if c.Rank() == 0 {
+			fs.Close()
+		}
 		return nil, err
 	}
 	return f, c.Barrier()
@@ -317,6 +330,14 @@ func (f *File) SetParallelism(n int) { f.par = n }
 
 // Parallelism returns the resolved worker bound for independent I/O.
 func (f *File) Parallelism() int { return par.Resolve(f.par) }
+
+// SetCollectiveParallelism adjusts the per-rank collective I/O worker
+// bound after open (same semantics as Options.CollectiveParallelism).
+func (f *File) SetCollectiveParallelism(n int) { f.io.Parallelism = n }
+
+// CollectiveParallelism returns the resolved worker bound for the
+// two-phase collective stages.
+func (f *File) CollectiveParallelism() int { return par.Resolve(f.io.Parallelism) }
 
 // Decomp returns the current zone decomposition of the chunk grid. It
 // is recomputed from the replicated metadata after extensions, so every
@@ -526,8 +547,11 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 	}
 	scratch := make([]byte, total)
 	// Independent I/O with more than one worker goes through the
-	// parallel run-group path; collective I/O always runs serially —
-	// the two-phase exchange owns its rank ordering.
+	// parallel run-group path. Collective I/O parallelizes inside the
+	// two-phase exchange itself (mpiio honors io.Parallelism, set from
+	// Options.CollectiveParallelism): the communicator collectives keep
+	// their fixed rank order, only the aggregate-stage requests and
+	// piece carving fan out.
 	if !collective {
 		if workers := f.Parallelism(); workers > 1 && len(runs) > 1 {
 			return f.sectionIOParallel(runs, scratch, buf, write, workers)

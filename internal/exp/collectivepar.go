@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/cluster"
+	"drxmp/internal/pfs"
+	"drxmp/internal/report"
+)
+
+// DefaultCollectiveParallelism caps the per-rank worker counts E17
+// sweeps (drxbench -cpar overrides it). Like DefaultParallelism it may
+// usefully exceed GOMAXPROCS: collective aggregators overlap I/O
+// service time across the striped servers, not CPU.
+var DefaultCollectiveParallelism = 8
+
+// e17Cost is the real-time service model of the collective study:
+// servers sleep their charged time, so wall-clock measures how well the
+// aggregators keep all servers busy. Per-request overhead dominates
+// (the aggregate phase issues stripe-sized requests), seek cost is
+// folded in as in E16.
+func e17Cost() pfs.CostModel {
+	return pfs.CostModel{
+		RequestOverhead: 150 * time.Microsecond,
+		ByteTime:        10 * time.Nanosecond,
+		RealTime:        true,
+	}
+}
+
+// e17Slab returns rank r's slab of an n x n array split along dim 0
+// over `ranks` ranks.
+func e17Slab(n, ranks, r int) drxmp.Box {
+	q := (n + ranks - 1) / ranks
+	lo, hi := r*q, (r+1)*q
+	if hi > n {
+		hi = n
+	}
+	return drxmp.NewBox([]int{lo, 0}, []int{hi, n})
+}
+
+// E17CollectiveParallelism measures the parallel two-phase collective:
+// P ranks collectively write and read slab sections of an n x n f64
+// array while each rank's aggregate stage fans its stripe-sized file
+// requests across 1..W workers (Options.CollectiveParallelism). The
+// backing store charges real service time per server through the
+// per-server request queues, so the speedup column is genuine
+// wall-clock overlap: serial aggregators keep at most P of the S
+// servers busy, parallel aggregators keep all S saturated.
+func E17CollectiveParallelism(sc Scale) []*report.Table {
+	n := sc.pick(192, 384)
+	const chunk = 32
+	const servers = 8
+	const ranks = 4
+	stripe := int64(8 << 10)
+
+	t := report.New(fmt.Sprintf("E17: %d-rank two-phase collective on a %dx%d f64 array, %d real-time servers", ranks, n, n, servers),
+		"op", "workers", "wall", "speedup")
+	var baseR, baseW time.Duration
+	for _, workers := range cparSweep() {
+		var wallR, wallW time.Duration
+		err := cluster.Run(ranks, func(c *cluster.Comm) error {
+			f, err := drxmp.Create(c, "e17", drxmp.Options{
+				DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+				FS:                    pfs.Options{Servers: servers, StripeSize: stripe, Cost: e17Cost()},
+				CollectiveParallelism: workers,
+			})
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			// Stripe-sized collective-buffer rounds: one request per
+			// stripe, the granularity the queues overlap.
+			f.IO().CollectiveBufferSize = stripe
+
+			box := e17Slab(n, ranks, c.Rank())
+			data := make([]byte, box.Volume()*8)
+			for i := range data {
+				data[i] = byte(c.Rank() + i)
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			start := time.Now()
+			if err := f.WriteSectionAll(box, data, drxmp.RowMajor); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				wallW = time.Since(start)
+			}
+			buf := make([]byte, box.Volume()*8)
+			start = time.Now()
+			if err := f.ReadSectionAll(box, buf, drxmp.RowMajor); err != nil {
+				return err
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				wallR = time.Since(start)
+			}
+			return nil
+		})
+		if err != nil {
+			t.AddNote("workers=%d: %v", workers, err)
+			continue
+		}
+		resolved := workers
+		if resolved < 0 {
+			resolved = 1
+		}
+		if workers <= 1 {
+			baseW, baseR = wallW, wallR
+		}
+		t.AddRow("write_all", resolved, wallW.Round(time.Microsecond), report.Ratio(float64(baseW), float64(wallW)))
+		t.AddRow("read_all", resolved, wallR.Round(time.Microsecond), report.Ratio(float64(baseR), float64(wallR)))
+	}
+	t.AddNote("shape check: wall time falls with workers until the %d servers saturate; data is byte-identical at every worker count (differential tests)", servers)
+	return []*report.Table{t}
+}
+
+// cparSweep returns the collective worker counts to measure: serial,
+// then doubling up to DefaultCollectiveParallelism.
+func cparSweep() []int {
+	sweep := []int{-1} // forced serial
+	for w := 2; w <= DefaultCollectiveParallelism; w *= 2 {
+		sweep = append(sweep, w)
+	}
+	if len(sweep) == 1 {
+		sweep = append(sweep, 2)
+	}
+	return sweep
+}

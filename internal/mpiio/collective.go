@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"drxmp/internal/par"
 	"drxmp/internal/pfs"
 )
 
@@ -13,12 +14,24 @@ import (
 //
 // Phase assignment: the byte range touched by any process is split into
 // stripe-aligned aggregation domains, one per process. In a read, each
-// aggregator fetches its domain's covered span with large contiguous
-// requests and ships the pieces wanted by each process; in a write, each
-// process ships its pieces to the owning aggregators, which
-// read-modify-write their domain span with large contiguous requests.
-// This turns many small interleaved requests into a few streaming ones —
-// exactly the effect experiment E5 measures against independent I/O.
+// aggregator fetches the coalesced union of its domain's requested
+// extents with large contiguous requests and ships the pieces wanted by
+// each process; in a write, each process ships its pieces to the owning
+// aggregators, which overlay them and write the coalesced union back —
+// no read-modify-write round is needed, because every byte of the union
+// is covered by some rank's piece. This turns many small interleaved
+// requests into a few streaming ones — exactly the effect experiment E5
+// measures against independent I/O.
+//
+// Inside one collective call, each rank runs its aggregate and exchange
+// stages on up to File.Parallelism workers (internal/par): the capped
+// file requests of the aggregate phase are issued concurrently (they
+// cover disjoint extents, so completion order cannot change the bytes)
+// and the per-peer piece carving/reassembly of the exchange phase runs
+// one worker per peer (disjoint buffers). The communicator collectives
+// — Allgather, Alltoallv, and the agree round — stay in the same fixed
+// order on every rank, so the parallel path is byte-identical to the
+// serial one and the error-agreement semantics are unchanged.
 
 // ReadAllAt is the collective read: every rank of the communicator must
 // call it (ranks with nothing to read pass an empty buf). Each rank
@@ -30,6 +43,42 @@ func (f *File) ReadAllAt(buf []byte, viewOff int64) error {
 // WriteAllAt is the collective write counterpart of ReadAllAt.
 func (f *File) WriteAllAt(buf []byte, viewOff int64) error {
 	return f.collective(buf, viewOff, true)
+}
+
+// placed is one run fragment with its aggregation-domain owner, file
+// extent, and position in the owning rank's packed transfer buffer.
+// Both sides of every exchange walk a rank's placed list in the same
+// order, so payload layouts agree without further communication.
+type placed struct {
+	owner   int
+	fileOff int64
+	bufOff  int64
+	n       int64
+}
+
+// placePieces cuts a rank's runs at domain boundaries and assigns each
+// piece its packed-buffer position (runs pack back-to-back in order).
+func placePieces(dom domains, runs []pfs.Run) []placed {
+	var out []placed
+	var cursor int64
+	for _, run := range runs {
+		for _, p := range dom.split(run) {
+			out = append(out, placed{owner: p.owner, fileOff: p.run.Off, bufOff: cursor, n: p.run.Len})
+			cursor += p.run.Len
+		}
+	}
+	return out
+}
+
+// ownedBytes sums the payload bytes of pl that belong to owner.
+func ownedBytes(pl []placed, owner int) int64 {
+	var n int64
+	for _, p := range pl {
+		if p.owner == owner {
+			n += p.n
+		}
+	}
+	return n
 }
 
 func (f *File) collective(buf []byte, viewOff int64, write bool) error {
@@ -68,70 +117,93 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 	dom := f.domains(lo, hi)
 	size := f.comm.Size()
 	me := f.comm.Rank()
+	workers := f.workers()
+
+	// Place every rank's pieces once; every later stage walks these
+	// lists instead of re-splitting runs.
+	placedBy := make([][]placed, size)
+	_ = par.Do(workers, size, func(r int) error {
+		placedBy[r] = placePieces(dom, runsByRank[r])
+		return nil
+	})
+	myPlaced := placedBy[me]
 
 	if write {
 		// Phase 1: ship my bytes to the owning aggregators, split at
-		// domain boundaries, in my run order.
+		// domain boundaries, in my run order (one worker per peer; each
+		// builds one disjoint send buffer).
 		send := make([][]byte, size)
-		var cursor int64
-		for _, run := range myRuns {
-			for _, piece := range dom.split(run) {
-				send[piece.owner] = append(send[piece.owner], buf[cursor:cursor+piece.run.Len]...)
-				cursor += piece.run.Len
+		_ = par.Do(workers, size, func(owner int) error {
+			n := ownedBytes(myPlaced, owner)
+			if n == 0 {
+				return nil
 			}
-		}
+			out := make([]byte, 0, n)
+			for _, p := range myPlaced {
+				if p.owner == owner {
+					out = append(out, buf[p.bufOff:p.bufOff+p.n]...)
+				}
+			}
+			send[owner] = out
+			return nil
+		})
 		recv, err := f.comm.Alltoallv(send)
 		if err != nil {
 			return err
 		}
 		// Phase 2: as aggregator for domain `me`, overlay the received
-		// pieces onto the covered span and write it back with large
+		// pieces and write the coalesced union back with large
 		// contiguous requests. All ranks agree on the outcome so a
 		// server failure surfaces on every member of the collective.
-		return f.agree(f.aggregateWrite(dom, runsByRank, recv))
+		return f.agree(f.aggregateWrite(dom, placedBy, recv))
 	}
 
-	// Read. Phase 1: as aggregator, fetch my domain's covered span and
-	// carve out each rank's pieces. Ranks must agree on failure before
-	// the exchange phase: a rank that aborted here would otherwise
-	// leave its peers blocked in Alltoallv forever.
-	span, data, err := f.aggregateRead(dom, runsByRank)
+	// Read. Phase 1: as aggregator, fetch my domain's coalesced union
+	// and carve out each rank's pieces. Ranks must agree on failure
+	// before the exchange phase: a rank that aborted here would
+	// otherwise leave its peers blocked in Alltoallv forever.
+	span, data, err := f.aggregateRead(dom, placedBy)
 	if err = f.agree(err); err != nil {
 		return err
 	}
 	send := make([][]byte, size)
-	for r, rr := range runsByRank {
-		for _, run := range rr {
-			for _, piece := range dom.split(run) {
-				if piece.owner != me {
-					continue
-				}
-				o := piece.run.Off - span.Off
-				send[r] = append(send[r], data[o:o+piece.run.Len]...)
+	_ = par.Do(workers, size, func(r int) error {
+		n := ownedBytes(placedBy[r], me)
+		if n == 0 {
+			return nil
+		}
+		out := make([]byte, 0, n)
+		for _, p := range placedBy[r] {
+			if p.owner == me {
+				o := p.fileOff - span.Off
+				out = append(out, data[o:o+p.n]...)
 			}
 		}
-	}
+		send[r] = out
+		return nil
+	})
 	recv, err := f.comm.Alltoallv(send)
 	if err != nil {
 		return err
 	}
 	// Phase 2: reassemble my buffer, consuming each aggregator's payload
-	// in run order (both sides walk the runs in the same order).
-	cursors := make([]int64, size)
-	var at int64
-	for _, run := range myRuns {
-		for _, piece := range dom.split(run) {
-			p := recv[piece.owner]
-			c := cursors[piece.owner]
-			if c+piece.run.Len > int64(len(p)) {
+	// in run order (both sides walk the placed list in the same order;
+	// one worker per aggregator, writing disjoint buffer pieces).
+	return par.Do(workers, size, func(owner int) error {
+		payload := recv[owner]
+		var cursor int64
+		for _, p := range myPlaced {
+			if p.owner != owner {
+				continue
+			}
+			if cursor+p.n > int64(len(payload)) {
 				return errors.New("mpiio: collective read reassembly underflow")
 			}
-			copy(buf[at:at+piece.run.Len], p[c:c+piece.run.Len])
-			cursors[piece.owner] = c + piece.run.Len
-			at += piece.run.Len
+			copy(buf[p.bufOff:p.bufOff+p.n], payload[cursor:cursor+p.n])
+			cursor += p.n
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // agree is the error-agreement round of a collective operation: if the
@@ -189,7 +261,8 @@ type piece struct {
 	run   pfs.Run
 }
 
-// split cuts a run at domain boundaries, in offset order.
+// split cuts a run at domain boundaries, in offset order. Zero-length
+// runs produce no pieces.
 func (d domains) split(run pfs.Run) []piece {
 	var out []piece
 	off, remaining := run.Off, run.Len
@@ -240,74 +313,108 @@ func (d domains) coveredSpan(owner int, runsByRank [][]pfs.Run) pfs.Run {
 	return pfs.Run{Off: a, Len: b - a}
 }
 
-// aggregateRead performs this rank's phase-1 read: the covered span of
-// its domain, fetched with requests capped by CollectiveBufferSize.
-func (f *File) aggregateRead(dom domains, runsByRank [][]pfs.Run) (pfs.Run, []byte, error) {
-	span := dom.coveredSpan(f.comm.Rank(), runsByRank)
-	if span.Len == 0 {
-		return span, nil, nil
+// domainRuns returns the coalesced union of the pieces every rank
+// placed in domain `owner` — exactly the bytes its aggregator must
+// transfer, sorted and non-overlapping.
+func domainRuns(owner int, placedBy [][]placed) []pfs.Run {
+	var runs []pfs.Run
+	for _, pl := range placedBy {
+		for _, p := range pl {
+			if p.owner == owner {
+				runs = append(runs, pfs.Run{Off: p.fileOff, Len: p.n})
+			}
+		}
 	}
-	data := make([]byte, span.Len)
-	cb := f.CollectiveBufferSize
+	return pfs.Coalesce(runs)
+}
+
+// capRuns splits runs into requests of at most cb bytes (cb <= 0 means
+// uncapped), preserving order.
+func capRuns(runs []pfs.Run, cb int64) []pfs.Run {
 	if cb <= 0 {
-		cb = span.Len
+		return runs
 	}
-	for off := int64(0); off < span.Len; off += cb {
-		n := cb
-		if off+n > span.Len {
-			n = span.Len - off
+	var out []pfs.Run
+	for _, r := range runs {
+		for off := int64(0); off < r.Len; off += cb {
+			n := cb
+			if off+n > r.Len {
+				n = r.Len - off
+			}
+			out = append(out, pfs.Run{Off: r.Off + off, Len: n})
 		}
-		if _, err := f.fs.ReadAt(data[off:off+n], span.Off+off); err != nil {
-			return span, nil, err
-		}
+	}
+	return out
+}
+
+// spanOf returns the contiguous extent covering a sorted run list.
+func spanOf(runs []pfs.Run) pfs.Run {
+	last := runs[len(runs)-1]
+	return pfs.Run{Off: runs[0].Off, Len: last.Off + last.Len - runs[0].Off}
+}
+
+// aggregateRead performs this rank's phase-1 read: the coalesced union
+// of its domain's requested extents, fetched with requests capped by
+// CollectiveBufferSize and issued across the worker pool (the requests
+// are disjoint, so completion order cannot change the bytes).
+func (f *File) aggregateRead(dom domains, placedBy [][]placed) (pfs.Run, []byte, error) {
+	runs := domainRuns(f.comm.Rank(), placedBy)
+	if len(runs) == 0 {
+		return pfs.Run{}, nil, nil
+	}
+	span := spanOf(runs)
+	data := make([]byte, span.Len)
+	reqs := capRuns(runs, f.CollectiveBufferSize)
+	err := par.Do(f.workers(), len(reqs), func(i int) error {
+		r := reqs[i]
+		o := r.Off - span.Off
+		_, err := f.fs.ReadAt(data[o:o+r.Len], r.Off)
+		return err
+	})
+	if err != nil {
+		return span, nil, err
 	}
 	return span, data, nil
 }
 
 // aggregateWrite overlays every rank's pieces for this rank's domain
-// onto the covered span (read-modify-write) and writes it back with
-// large contiguous requests. Overlapping writes resolve in rank order
-// (higher rank wins), a deterministic refinement of MPI's "undefined".
-func (f *File) aggregateWrite(dom domains, runsByRank [][]pfs.Run, recv [][]byte) error {
+// onto a staging buffer and writes the coalesced union back with large
+// contiguous requests. Every byte of the union is covered by some
+// rank's piece, so no read-modify-write round is needed and the gaps
+// between runs are never touched. Overlapping writes resolve in rank
+// order (higher rank wins), a deterministic refinement of MPI's
+// "undefined": the overlay walks ranks serially, only the disjoint
+// write-back requests fan out across the worker pool.
+func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) error {
 	me := f.comm.Rank()
-	span, data, err := f.aggregateRead(dom, runsByRank)
-	if err != nil {
-		return err
-	}
-	if span.Len == 0 {
+	runs := domainRuns(me, placedBy)
+	if len(runs) == 0 {
 		return nil
 	}
-	for r, rr := range runsByRank {
-		var cursor int64
+	span := spanOf(runs)
+	data := make([]byte, span.Len)
+	for r, pl := range placedBy {
 		payload := recv[r]
-		for _, run := range rr {
-			for _, p := range dom.split(run) {
-				if p.owner != me {
-					continue
-				}
-				if cursor+p.run.Len > int64(len(payload)) {
-					return errors.New("mpiio: collective write overlay underflow")
-				}
-				o := p.run.Off - span.Off
-				copy(data[o:o+p.run.Len], payload[cursor:cursor+p.run.Len])
-				cursor += p.run.Len
+		var cursor int64
+		for _, p := range pl {
+			if p.owner != me {
+				continue
 			}
+			if cursor+p.n > int64(len(payload)) {
+				return errors.New("mpiio: collective write overlay underflow")
+			}
+			o := p.fileOff - span.Off
+			copy(data[o:o+p.n], payload[cursor:cursor+p.n])
+			cursor += p.n
 		}
 	}
-	cb := f.CollectiveBufferSize
-	if cb <= 0 {
-		cb = span.Len
-	}
-	for off := int64(0); off < span.Len; off += cb {
-		n := cb
-		if off+n > span.Len {
-			n = span.Len - off
-		}
-		if _, err := f.fs.WriteAt(data[off:off+n], span.Off+off); err != nil {
-			return err
-		}
-	}
-	return nil
+	reqs := capRuns(runs, f.CollectiveBufferSize)
+	return par.Do(f.workers(), len(reqs), func(i int) error {
+		r := reqs[i]
+		o := r.Off - span.Off
+		_, err := f.fs.WriteAt(data[o:o+r.Len], r.Off)
+		return err
+	})
 }
 
 // --- run wire encoding (fixed 16 bytes per run) ---

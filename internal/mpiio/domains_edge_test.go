@@ -1,0 +1,148 @@
+package mpiio
+
+import (
+	"testing"
+
+	"drxmp/internal/pfs"
+)
+
+// Edge-case coverage for the aggregation-domain geometry: zero-length
+// runs, single-byte domains, and runs that start or end exactly on
+// stripe/domain boundaries. These paths feed every collective call, so
+// their corner behavior is pinned explicitly.
+
+// TestCollectiveDomainsSplitZeroLengthRun: a zero-length run produces
+// no pieces, regardless of where it sits.
+func TestCollectiveDomainsSplitZeroLengthRun(t *testing.T) {
+	d := domains{lo: 0, per: 64, n: 4}
+	for _, off := range []int64{0, 63, 64, 255, 1000} {
+		if got := d.split(pfs.Run{Off: off, Len: 0}); len(got) != 0 {
+			t.Errorf("split of zero-length run at %d yielded %d pieces", off, len(got))
+		}
+	}
+}
+
+// TestCollectiveDomainsSplitSingleByteDomains: with a 1-byte stripe the
+// domain size degenerates to a single byte per aggregator; every byte
+// of a run must land on its own owner, with the tail spilling into the
+// last domain.
+func TestCollectiveDomainsSplitSingleByteDomains(t *testing.T) {
+	d := domains{lo: 0, per: 1, n: 4}
+	pieces := d.split(pfs.Run{Off: 0, Len: 10})
+	if len(pieces) != 4 {
+		t.Fatalf("pieces = %d, want 4 (one per domain + tail)", len(pieces))
+	}
+	for i := 0; i < 3; i++ {
+		want := piece{owner: i, run: pfs.Run{Off: int64(i), Len: 1}}
+		if pieces[i] != want {
+			t.Errorf("piece %d = %+v, want %+v", i, pieces[i], want)
+		}
+	}
+	// The last domain takes the tail: bytes 3..9.
+	if want := (piece{owner: 3, run: pfs.Run{Off: 3, Len: 7}}); pieces[3] != want {
+		t.Errorf("tail piece = %+v, want %+v", pieces[3], want)
+	}
+	// A single-byte run in the middle maps to exactly its domain.
+	one := d.split(pfs.Run{Off: 2, Len: 1})
+	if len(one) != 1 || one[0] != (piece{owner: 2, run: pfs.Run{Off: 2, Len: 1}}) {
+		t.Errorf("single-byte split = %+v", one)
+	}
+}
+
+// TestCollectiveDomainsSplitBoundaryAligned: runs that start or stop
+// exactly on a domain boundary must not leak a byte across it.
+func TestCollectiveDomainsSplitBoundaryAligned(t *testing.T) {
+	d := domains{lo: 128, per: 64, n: 3}
+	// Exactly one domain, [128, 192).
+	p := d.split(pfs.Run{Off: 128, Len: 64})
+	if len(p) != 1 || p[0].owner != 0 || p[0].run != (pfs.Run{Off: 128, Len: 64}) {
+		t.Errorf("aligned split = %+v", p)
+	}
+	// Straddle the first boundary by one byte on each side.
+	p = d.split(pfs.Run{Off: 191, Len: 2})
+	if len(p) != 2 ||
+		p[0] != (piece{owner: 0, run: pfs.Run{Off: 191, Len: 1}}) ||
+		p[1] != (piece{owner: 1, run: pfs.Run{Off: 192, Len: 1}}) {
+		t.Errorf("straddling split = %+v", p)
+	}
+	// Past the last domain: the tail rule absorbs everything.
+	p = d.split(pfs.Run{Off: 128 + 3*64 - 1, Len: 10})
+	if len(p) != 1 || p[0].owner != 2 || p[0].run.Len != 10 {
+		t.Errorf("tail split = %+v", p)
+	}
+}
+
+// TestCollectiveCoveredSpanZeroLengthRuns: zero-length runs contribute
+// nothing to a domain's covered span, and untouched domains report an
+// empty span.
+func TestCollectiveCoveredSpanZeroLengthRuns(t *testing.T) {
+	d := domains{lo: 0, per: 64, n: 2}
+	runsByRank := [][]pfs.Run{
+		{{Off: 10, Len: 0}, {Off: 20, Len: 4}},
+		{{Off: 40, Len: 0}},
+	}
+	if got := d.coveredSpan(0, runsByRank); got != (pfs.Run{Off: 20, Len: 4}) {
+		t.Errorf("coveredSpan(0) = %+v, want {20 4}", got)
+	}
+	// Domain 1 saw only a zero-length run: empty span, Len 0.
+	if got := d.coveredSpan(1, runsByRank); got != (pfs.Run{}) {
+		t.Errorf("coveredSpan(1) = %+v, want empty", got)
+	}
+	// No runs at all.
+	if got := d.coveredSpan(0, nil); got != (pfs.Run{}) {
+		t.Errorf("coveredSpan of no runs = %+v, want empty", got)
+	}
+}
+
+// TestCollectiveCoveredSpanSingleByteAtBoundary: a single-byte run on
+// the last byte of a domain spans exactly that byte.
+func TestCollectiveCoveredSpanSingleByteAtBoundary(t *testing.T) {
+	d := domains{lo: 0, per: 64, n: 2}
+	runsByRank := [][]pfs.Run{{{Off: 63, Len: 1}}, {{Off: 64, Len: 1}}}
+	if got := d.coveredSpan(0, runsByRank); got != (pfs.Run{Off: 63, Len: 1}) {
+		t.Errorf("coveredSpan(0) = %+v, want {63 1}", got)
+	}
+	if got := d.coveredSpan(1, runsByRank); got != (pfs.Run{Off: 64, Len: 1}) {
+		t.Errorf("coveredSpan(1) = %+v, want {64 1}", got)
+	}
+}
+
+// TestCollectiveDomainRunsCoalesces: the aggregator's transfer list is
+// the coalesced union across ranks — overlapping and adjacent pieces
+// from different ranks collapse.
+func TestCollectiveDomainRunsCoalesces(t *testing.T) {
+	d := domains{lo: 0, per: 256, n: 1}
+	placedBy := [][]placed{
+		placePieces(d, []pfs.Run{{Off: 0, Len: 8}, {Off: 16, Len: 8}}),
+		placePieces(d, []pfs.Run{{Off: 8, Len: 8}, {Off: 100, Len: 4}}),
+		placePieces(d, []pfs.Run{{Off: 4, Len: 10}}), // overlaps both
+	}
+	got := domainRuns(0, placedBy)
+	want := []pfs.Run{{Off: 0, Len: 24}, {Off: 100, Len: 4}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("domainRuns = %+v, want %+v", got, want)
+	}
+}
+
+// TestCollectiveCapRuns: request capping splits runs without moving
+// bytes between them.
+func TestCollectiveCapRuns(t *testing.T) {
+	runs := []pfs.Run{{Off: 0, Len: 10}, {Off: 20, Len: 3}}
+	if got := capRuns(runs, 0); len(got) != 2 { // uncapped
+		t.Errorf("uncapped = %+v", got)
+	}
+	got := capRuns(runs, 4)
+	want := []pfs.Run{{Off: 0, Len: 4}, {Off: 4, Len: 4}, {Off: 8, Len: 2}, {Off: 20, Len: 3}}
+	if len(got) != len(want) {
+		t.Fatalf("capped = %+v, want %+v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("capped = %+v, want %+v", got, want)
+		}
+	}
+	// Cap of 1: one request per byte, order preserved.
+	if got := capRuns([]pfs.Run{{Off: 5, Len: 3}}, 1); len(got) != 3 || got[0] != (pfs.Run{Off: 5, Len: 1}) || got[2] != (pfs.Run{Off: 7, Len: 1}) {
+		t.Errorf("unit cap = %+v", got)
+	}
+}

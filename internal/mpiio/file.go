@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"drxmp/internal/cluster"
+	"drxmp/internal/par"
 	"drxmp/internal/pfs"
 )
 
@@ -24,7 +25,20 @@ type File struct {
 	// two-phase round (the ROMIO "cb_buffer_size" analogue). Zero means
 	// unbounded (single round).
 	CollectiveBufferSize int64
+
+	// Parallelism bounds the worker goroutines this rank uses inside a
+	// collective call: the aggregate-phase file requests and the
+	// exchange-phase piece carving/reassembly run on up to this many
+	// workers (internal/par semantics: 0 selects GOMAXPROCS, negative
+	// forces the serial path, values above GOMAXPROCS are honored — the
+	// workers overlap I/O service time across striped servers, not
+	// CPU). The parallel and serial paths are byte-identical: workers
+	// only ever touch disjoint extents, and merge order is fixed.
+	Parallelism int
 }
+
+// workers resolves the collective parallelism knob.
+func (f *File) workers() int { return par.Resolve(f.Parallelism) }
 
 // Open returns a handle on fs for this process. It is collective only
 // by convention (no synchronization is needed to open).

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -188,7 +189,11 @@ type server struct {
 	cost    CostModel
 }
 
-func (sv *server) charge(n int64, off int64, write bool) {
+// charge accounts one request and returns its service time. The caller
+// decides where the RealTime sleep happens: the queue worker sleeps in
+// its service loop (queue.go), the synchronous fallback sleeps after
+// releasing the lock. Must be called with sv.mu held.
+func (sv *server) charge(n int64, off int64, write bool) time.Duration {
 	seek := off != sv.lastEnd
 	if seek {
 		sv.stats.Seeks++
@@ -206,20 +211,16 @@ func (sv *server) charge(n int64, off int64, write bool) {
 	}
 	sv.stats.Busy += d
 	sv.lastEnd = off + n
-	if sv.cost.RealTime && d > 0 {
-		// Sleep under the server lock: this server is busy for d while
-		// the other servers keep serving (see CostModel.RealTime).
-		time.Sleep(d)
-	}
+	return d
 }
 
-func (sv *server) writeAt(p []byte, off int64) error {
+func (sv *server) writeAt(p []byte, off int64) (time.Duration, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	sv.charge(int64(len(p)), off, true)
+	d := sv.charge(int64(len(p)), off, true)
 	if sv.f != nil {
 		if _, err := sv.f.WriteAt(p, off); err != nil {
-			return err
+			return d, err
 		}
 	} else {
 		if need := off + int64(len(p)); need > int64(len(sv.mem)) {
@@ -232,13 +233,13 @@ func (sv *server) writeAt(p []byte, off int64) error {
 	if end := off + int64(len(p)); end > sv.size {
 		sv.size = end
 	}
-	return nil
+	return d, nil
 }
 
-func (sv *server) readAt(p []byte, off int64) error {
+func (sv *server) readAt(p []byte, off int64) (time.Duration, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
-	sv.charge(int64(len(p)), off, false)
+	d := sv.charge(int64(len(p)), off, false)
 	if sv.f != nil {
 		// Holes and regions past the per-server EOF read as zeros.
 		for i := range p {
@@ -250,10 +251,10 @@ func (sv *server) readAt(p []byte, off int64) error {
 				n = sv.size - off
 			}
 			if _, err := sv.f.ReadAt(p[:n], off); err != nil {
-				return err
+				return d, err
 			}
 		}
-		return nil
+		return d, nil
 	}
 	for i := range p {
 		p[i] = 0
@@ -261,14 +262,25 @@ func (sv *server) readAt(p []byte, off int64) error {
 	if off < int64(len(sv.mem)) {
 		copy(p, sv.mem[off:])
 	}
-	return nil
+	return d, nil
 }
 
 // FS is one striped logical file. Methods are safe for concurrent use.
+//
+// Every request is serviced by the owning server's queue goroutine
+// (queue.go): one logical ReadAt/WriteAt/ReadV/WriteV enqueues all of
+// its per-server segments up front and waits for the completions, so
+// service time overlaps across servers even within a single call while
+// each server still services one request at a time, in FIFO order.
 type FS struct {
 	opts    Options
 	servers []*server
 	inj     atomic.Pointer[injBox] // failure injection (fault.go)
+
+	queues  []chan *ioReq  // one FIFO request queue per server
+	qwg     sync.WaitGroup // running queue workers
+	qmu     sync.RWMutex   // guards qclosed vs. in-flight enqueues
+	qclosed bool           // Close drained the queues (sync fallback)
 
 	mu   sync.Mutex
 	size int64 // logical file size (high-water mark of writes/truncate)
@@ -291,6 +303,7 @@ func Create(name string, opts Options) (*FS, error) {
 		}
 		fs.servers[i] = sv
 	}
+	fs.startQueues()
 	return fs, nil
 }
 
@@ -329,6 +342,7 @@ func Open(name string, opts Options) (*FS, error) {
 		}
 	}
 	fs.size = logical
+	fs.startQueues()
 	return fs, nil
 }
 
@@ -400,19 +414,25 @@ func (fs *FS) forEachSegment(off, n int64, fn func(server int, srvOff, logOff, l
 	return nil
 }
 
+// segments collects the per-server segments of [off, off+len(p)) in
+// logical order, sharing p's backing storage.
+func (fs *FS) segments(p []byte, off int64, write bool) []ioSeg {
+	segs := make([]ioSeg, 0, len(p)/int(fs.opts.StripeSize)+2)
+	fs.forEachSegment(off, int64(len(p)), func(s int, so, lo, n int64) error {
+		segs = append(segs, ioSeg{server: s, off: so, p: p[lo-off : lo-off+n], write: write})
+		return nil
+	})
+	return segs
+}
+
 // WriteAt writes p at logical offset off, growing the file as needed.
-// It implements io.WriterAt.
+// It implements io.WriterAt. All per-server segments are queued up
+// front, so their service times overlap across servers.
 func (fs *FS) WriteAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pfs: negative offset")
 	}
-	err := fs.forEachSegment(off, int64(len(p)), func(s int, so, lo, n int64) error {
-		if err := fs.inject(s, true, so, n); err != nil {
-			return err
-		}
-		return fs.servers[s].writeAt(p[lo-off:lo-off+n], so)
-	})
-	if err != nil {
+	if _, err := fs.dispatch(fs.segments(p, off, true)); err != nil {
 		return 0, err
 	}
 	fs.mu.Lock()
@@ -431,13 +451,7 @@ func (fs *FS) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("pfs: negative offset")
 	}
-	err := fs.forEachSegment(off, int64(len(p)), func(s int, so, lo, n int64) error {
-		if err := fs.inject(s, false, so, n); err != nil {
-			return err
-		}
-		return fs.servers[s].readAt(p[lo-off:lo-off+n], so)
-	})
-	if err != nil {
+	if _, err := fs.dispatch(fs.segments(p, off, false)); err != nil {
 		return 0, err
 	}
 	return len(p), nil
@@ -449,36 +463,96 @@ type Run struct {
 	Len int64
 }
 
-// ReadV performs a vectored read of runs into buf (runs packed
-// back-to-back in order). It returns the total bytes read.
-func (fs *FS) ReadV(runs []Run, buf []byte) (int64, error) {
-	var at int64
+// Coalesce merges a run list into the minimal sorted, non-overlapping
+// extent set covering exactly the same bytes: runs are sorted by offset
+// (on a copy), empty runs dropped, and adjacent or overlapping extents
+// merged. The result never has more runs than the input.
+func Coalesce(runs []Run) []Run {
+	var out []Run
 	for _, r := range runs {
+		if r.Len > 0 {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Off != out[j].Off {
+			return out[i].Off < out[j].Off
+		}
+		return out[i].Len > out[j].Len
+	})
+	w := 0
+	for _, r := range out {
+		if w > 0 && r.Off <= out[w-1].Off+out[w-1].Len {
+			if end := r.Off + r.Len; end > out[w-1].Off+out[w-1].Len {
+				out[w-1].Len = end - out[w-1].Off
+			}
+			continue
+		}
+		out[w] = r
+		w++
+	}
+	return out[:w]
+}
+
+// vectored builds the full segment list of a vectored operation. It
+// stops at the first run that does not fit buf, returning the segments
+// gathered so far, the bytes they cover, and the validation error.
+func (fs *FS) vectored(runs []Run, buf []byte, write bool) ([]ioSeg, int64, error) {
+	var segs []ioSeg
+	var at int64
+	op := "ReadV"
+	if write {
+		op = "WriteV"
+	}
+	for _, r := range runs {
+		if r.Off < 0 {
+			return segs, at, fmt.Errorf("pfs: %s negative offset %d", op, r.Off)
+		}
 		if at+r.Len > int64(len(buf)) {
-			return at, fmt.Errorf("pfs: ReadV buffer too small (%d < %d)", len(buf), at+r.Len)
+			return segs, at, fmt.Errorf("pfs: %s buffer too small (%d < %d)", op, len(buf), at+r.Len)
 		}
-		if _, err := fs.ReadAt(buf[at:at+r.Len], r.Off); err != nil {
-			return at, err
-		}
+		segs = append(segs, fs.segments(buf[at:at+r.Len], r.Off, write)...)
 		at += r.Len
 	}
-	return at, nil
+	return segs, at, nil
+}
+
+// ReadV performs a vectored read of runs into buf (runs packed
+// back-to-back in order). It returns the total bytes read. The whole
+// vector is queued at once, so segments bound for different servers
+// interleave service time instead of serializing run-by-run.
+func (fs *FS) ReadV(runs []Run, buf []byte) (int64, error) {
+	segs, at, verr := fs.vectored(runs, buf, false)
+	done, err := fs.dispatch(segs)
+	if err != nil {
+		return done, err
+	}
+	return at, verr
 }
 
 // WriteV performs a vectored write of runs from buf (runs packed
 // back-to-back in order). It returns the total bytes written.
 func (fs *FS) WriteV(runs []Run, buf []byte) (int64, error) {
-	var at int64
-	for _, r := range runs {
-		if at+r.Len > int64(len(buf)) {
-			return at, fmt.Errorf("pfs: WriteV buffer too small (%d < %d)", len(buf), at+r.Len)
-		}
-		if _, err := fs.WriteAt(buf[at:at+r.Len], r.Off); err != nil {
-			return at, err
-		}
-		at += r.Len
+	segs, at, verr := fs.vectored(runs, buf, true)
+	done, err := fs.dispatch(segs)
+	if err != nil {
+		return done, err
 	}
-	return at, nil
+	if at > 0 {
+		fs.mu.Lock()
+		var covered int64
+		for _, r := range runs {
+			if covered+r.Len > at {
+				break // run was rejected by validation; nothing written
+			}
+			covered += r.Len
+			if end := r.Off + r.Len; end > fs.size {
+				fs.size = end
+			}
+		}
+		fs.mu.Unlock()
+	}
+	return at, verr
 }
 
 // Stats returns a snapshot of the accounting.
@@ -502,8 +576,11 @@ func (fs *FS) ResetStats() {
 	}
 }
 
-// Close releases backend resources (Disk files are synced and closed).
+// Close drains and stops the per-server queues, then releases backend
+// resources (Disk files are synced and closed). I/O issued after Close
+// is serviced synchronously in the caller (the pre-queue semantics).
 func (fs *FS) Close() error {
+	fs.stopQueues()
 	var first error
 	for _, sv := range fs.servers {
 		sv.mu.Lock()

@@ -1,0 +1,159 @@
+// queue.go gives every simulated I/O server its own request queue: a
+// dedicated service goroutine draining a FIFO channel, the way each
+// PVFS2 server daemon services its own request stream. A logical FS
+// operation enqueues all of its per-server segments up front and then
+// waits for the completions, so when a request vector spans several
+// servers their service times overlap — the caller pays max-per-server
+// instead of the sum — while each individual server still services one
+// request at a time, in arrival order. CostModel.RealTime sleeps inside
+// the server loop (the server is busy; its queue backs up), not in the
+// caller, which is what makes the overlap measurable as wall-clock time
+// by the collective-I/O benchmarks.
+package pfs
+
+import "time"
+
+// queueDepth is the per-server channel buffer: deep enough that a
+// dispatcher rarely blocks handing over a striped vector, small enough
+// to bound memory for runaway producers.
+const queueDepth = 64
+
+// ioSeg is one per-server segment of a logical operation, pre-resolved
+// to a server-local offset and a sub-slice of the caller's buffer.
+type ioSeg struct {
+	server int
+	off    int64 // server-local offset
+	p      []byte
+	write  bool
+}
+
+// ioReq is an ioSeg in flight: submission index for deterministic
+// error selection, completion channel back to the dispatcher.
+type ioReq struct {
+	seg  ioSeg
+	idx  int
+	err  error
+	done chan *ioReq
+}
+
+// startQueues launches one service goroutine per server.
+func (fs *FS) startQueues() {
+	fs.queues = make([]chan *ioReq, len(fs.servers))
+	for i, sv := range fs.servers {
+		ch := make(chan *ioReq, queueDepth)
+		fs.queues[i] = ch
+		fs.qwg.Add(1)
+		go func(sv *server, ch chan *ioReq) {
+			defer fs.qwg.Done()
+			sv.serve(ch)
+		}(sv, ch)
+	}
+}
+
+// stopQueues drains the queues and stops the workers. In-flight
+// dispatchers still receive their completions: workers finish every
+// queued request before exiting.
+func (fs *FS) stopQueues() {
+	fs.qmu.Lock()
+	if fs.qclosed {
+		fs.qmu.Unlock()
+		return
+	}
+	fs.qclosed = true
+	for _, ch := range fs.queues {
+		close(ch)
+	}
+	fs.qmu.Unlock()
+	fs.qwg.Wait()
+}
+
+// serve is one server's service loop: execute, sleep the charged
+// service time when the cost model is real-time (the server is busy —
+// later requests on this queue wait, other servers keep serving), then
+// signal the dispatcher.
+func (sv *server) serve(ch chan *ioReq) {
+	for req := range ch {
+		var d time.Duration
+		if req.seg.write {
+			d, req.err = sv.writeAt(req.seg.p, req.seg.off)
+		} else {
+			d, req.err = sv.readAt(req.seg.p, req.seg.off)
+		}
+		if sv.cost.RealTime && d > 0 {
+			time.Sleep(d)
+		}
+		req.done <- req
+	}
+}
+
+// dispatch runs a segment list through the per-server queues and waits
+// for all completions. Failure injection is consulted per segment, in
+// submission order, exactly as the pre-queue code did: an injected
+// fault stops submission (the request "never reached a server"),
+// already-queued segments still complete. The returned count is the
+// bytes of the segments that precede the earliest failure in submission
+// order; the returned error is the earliest failure (injection or
+// service), so serial callers observe the same error they always did.
+func (fs *FS) dispatch(segs []ioSeg) (int64, error) {
+	if len(segs) == 0 {
+		return 0, nil
+	}
+	fs.qmu.RLock()
+	if fs.qclosed || fs.queues == nil {
+		fs.qmu.RUnlock()
+		return fs.dispatchSync(segs)
+	}
+	done := make(chan *ioReq, len(segs))
+	sent := 0
+	errIdx := len(segs)
+	var firstErr error
+	for i := range segs {
+		s := &segs[i]
+		if err := fs.inject(s.server, s.write, s.off, int64(len(s.p))); err != nil {
+			errIdx, firstErr = i, err
+			break
+		}
+		fs.queues[s.server] <- &ioReq{seg: *s, idx: i, done: done}
+		sent++
+	}
+	fs.qmu.RUnlock()
+	for i := 0; i < sent; i++ {
+		r := <-done
+		if r.err != nil && r.idx < errIdx {
+			errIdx, firstErr = r.idx, r.err
+		}
+	}
+	var n int64
+	for i := 0; i < errIdx && i < len(segs); i++ {
+		n += int64(len(segs[i].p))
+	}
+	return n, firstErr
+}
+
+// dispatchSync is the post-Close fallback: service each segment in the
+// caller, in order, with the original synchronous semantics.
+func (fs *FS) dispatchSync(segs []ioSeg) (int64, error) {
+	var n int64
+	for i := range segs {
+		s := &segs[i]
+		if err := fs.inject(s.server, s.write, s.off, int64(len(s.p))); err != nil {
+			return n, err
+		}
+		sv := fs.servers[s.server]
+		var d time.Duration
+		var err error
+		if s.write {
+			d, err = sv.writeAt(s.p, s.off)
+		} else {
+			d, err = sv.readAt(s.p, s.off)
+		}
+		if sv.cost.RealTime && d > 0 {
+			time.Sleep(d)
+		}
+		if err != nil {
+			return n, err
+		}
+		n += int64(len(s.p))
+	}
+	return n, nil
+}
