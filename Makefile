@@ -31,9 +31,15 @@ race-collective:
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Collective-benchmark smoke: one iteration of BenchmarkCollective
-# (parallel vs serial two-phase over real-time servers).
+# Collective-benchmark smoke: one iteration of BenchmarkCollective and
+# BenchmarkCollectiveScheduler (parallel vs serial two-phase, FIFO vs
+# elevator scheduling over real-time servers), plus the
+# BENCH_collective.json artifact (MB/s + seeks for FIFO vs elevator,
+# fixed vs adaptive cb_nodes) that tracks the perf trajectory across
+# PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
+	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json
+	@cat BENCH_collective.json
 
 ci: build vet fmt test race race-collective bench bench-collective

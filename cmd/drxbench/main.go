@@ -9,10 +9,12 @@
 //	drxbench -exp e7 -csv        # CSV output
 //	drxbench -exp e16 -par 16    # parallel section I/O, wider sweep
 //	drxbench -exp e17 -cpar 16   # parallel collective, wider sweep
+//	drxbench -benchjson BENCH_collective.json  # scheduler/cb_nodes perf artifact
 //
-// Experiments: fig1 fig2 fig3 e1..e17 (e11-e15 are design ablations,
+// Experiments: fig1 fig2 fig3 e1..e18 (e11-e15 are design ablations,
 // e16 is the parallel-vs-serial section I/O study, e17 the parallel
-// two-phase collective study).
+// two-phase collective study, e18 the elevator-scheduler / adaptive
+// cb_nodes ablation).
 package main
 
 import (
@@ -50,15 +52,17 @@ var experiments = []struct {
 	{"e15", "transport ablation: in-process vs loopback TCP", exp.E15TransportAblation},
 	{"e16", "parallel vs serial section I/O (sharded pool + run-group workers)", exp.E16ParallelIO},
 	{"e17", "parallel two-phase collective (per-aggregator workers + pfs server queues)", exp.E17CollectiveParallelism},
+	{"e18", "elevator scheduling + adaptive cb_nodes ablation (incl. straggler servers)", exp.E18SchedulerCBNodes},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e17)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e18)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parFlag := flag.Int("par", exp.DefaultParallelism, "max section-I/O parallelism swept by e16")
 	cparFlag := flag.Int("cpar", exp.DefaultCollectiveParallelism, "max collective parallelism swept by e17")
+	benchJSON := flag.String("benchjson", "", "write the scheduler/cb_nodes collective benchmark to this JSON file and exit")
 	flag.Parse()
 	if *parFlag > 0 {
 		exp.DefaultParallelism = *parFlag
@@ -82,6 +86,15 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "drxbench: unknown scale %q (quick|full)\n", *scaleFlag)
 		os.Exit(2)
+	}
+
+	if *benchJSON != "" {
+		if err := exp.WriteCollectiveBenchJSON(*benchJSON, sc); err != nil {
+			fmt.Fprintf(os.Stderr, "drxbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
 	}
 
 	names := strings.Split(strings.ToLower(*which), ",")

@@ -17,6 +17,104 @@ import (
 // running serial (CollectiveParallelism -1) or on 8 workers per rank.
 // The servers sleep their charged service time inside their request
 // queues, so the parallel/serial ns-per-op ratio is genuine wall-clock
+// BenchmarkCollectiveScheduler measures the elevator queue discipline
+// against FIFO (the acceptance benchmark of the scheduler tentpole): 4
+// ranks collectively read/write interleaved slabs over 8 real-time
+// servers whose cost model charges 2 ms per seek, with 32 aggregate
+// workers per rank keeping every server's queue deep. Under FIFO the
+// interleaved arrivals pay a seek on nearly every request; the
+// elevator freezes its reorder window, sweeps it in ascending offset
+// order, and merges physically adjacent segments, so most of the seek
+// latency vanishes from the wall clock. Both run adaptive cb_nodes
+// (the default), so the only variable is the service discipline.
+func BenchmarkCollectiveScheduler(b *testing.B) {
+	const (
+		n       = 192
+		chunk   = 32
+		ranks   = 4
+		servers = 8
+	)
+	stripe := int64(2 << 10)
+	cost := pfs.CostModel{
+		RequestOverhead: 100 * time.Microsecond,
+		SeekLatency:     2 * time.Millisecond,
+		ByteTime:        10 * time.Nanosecond,
+		RealTime:        true,
+	}
+	slab := func(r int) drxmp.Box {
+		q := (n + ranks - 1) / ranks
+		hi := (r + 1) * q
+		if hi > n {
+			hi = n
+		}
+		return drxmp.NewBox([]int{r * q, 0}, []int{hi, n})
+	}
+	for _, write := range []bool{false, true} {
+		op := "read"
+		if write {
+			op = "write"
+		}
+		for _, cfg := range []struct {
+			name  string
+			sched pfs.Scheduler
+		}{{"fifo", pfs.FIFO}, {"elevator", pfs.Elevator}} {
+			b.Run(op+"/"+cfg.name, func(b *testing.B) {
+				b.SetBytes(int64(n) * n * 8)
+				err := cluster.Run(ranks, func(c *cluster.Comm) error {
+					f, err := drxmp.Create(c, fmt.Sprintf("bs-%s-%s", op, cfg.name), drxmp.Options{
+						DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+						FS: pfs.Options{
+							Servers: servers, StripeSize: stripe, Cost: cost, Scheduler: cfg.sched,
+						},
+						CollectiveParallelism: 32,
+					})
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					f.IO().CollectiveBufferSize = stripe
+
+					box := slab(c.Rank())
+					buf := make([]byte, box.Volume()*8)
+					for i := range buf {
+						buf[i] = byte(c.Rank() + i)
+					}
+					if err := f.WriteSectionAll(box, buf, drxmp.RowMajor); err != nil {
+						return err
+					}
+					if err := c.Barrier(); err != nil {
+						return err
+					}
+					if c.Rank() == 0 {
+						b.ResetTimer()
+					}
+					for i := 0; i < b.N; i++ {
+						if write {
+							err = f.WriteSectionAll(box, buf, drxmp.RowMajor)
+						} else {
+							err = f.ReadSectionAll(box, buf, drxmp.RowMajor)
+						}
+						if err != nil {
+							return err
+						}
+					}
+					return c.Barrier()
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCollective measures the parallel two-phase collective
+// against the serial one (the acceptance benchmark of the collective
+// parallelization): 4 ranks collectively read/write slab sections of an
+// f64 array over 16 real-time striped servers, with the aggregate phase
+// running serial (CollectiveParallelism -1) or on 8 workers per rank.
+// The servers sleep their charged service time inside their request
+// queues, so the parallel/serial ns-per-op ratio is genuine wall-clock
 // overlap: parallel aggregators keep every server busy, serial ones
 // leave most idle. Throughput (MB/s) counts the bytes all ranks move.
 func BenchmarkCollective(b *testing.B) {

@@ -97,6 +97,15 @@ type Options struct {
 	// and serial collective paths produce byte-identical arrays; the
 	// workers only change how much per-server service time overlaps.
 	CollectiveParallelism int
+	// CBNodes bounds how many aggregators a collective call uses (the
+	// ROMIO "cb_nodes" analogue): 0 (the default) picks adaptively —
+	// one aggregator per stripe of payload, clamped to [1, nranks] —
+	// positive fixes the count, negative forces one aggregator per rank
+	// (the pre-adaptive behavior). Aggregator selection never changes
+	// the bytes, only how the two-phase transfer is carved. Every rank
+	// must pass the same value. The queue discipline of the backing
+	// servers is the FS.Scheduler knob (pfs.FIFO / pfs.Elevator).
+	CBNodes int
 }
 
 // File is one process's handle on a shared extendible array file. All
@@ -209,6 +218,7 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 		par:         opts.Parallelism,
 	}
 	f.io.Parallelism = opts.CollectiveParallelism
+	f.io.CBNodes = opts.CBNodes
 	if err := f.persistMeta(); err != nil {
 		// Rank 0 owns the store it just created: release it (queue
 		// goroutines, disk files) rather than leak it on a failed create.
@@ -338,6 +348,26 @@ func (f *File) SetCollectiveParallelism(n int) { f.io.Parallelism = n }
 // CollectiveParallelism returns the resolved worker bound for the
 // two-phase collective stages.
 func (f *File) CollectiveParallelism() int { return par.Resolve(f.io.Parallelism) }
+
+// SetCBNodes adjusts the collective aggregator-count knob after open
+// (same semantics as Options.CBNodes; must match on every rank).
+func (f *File) SetCBNodes(n int) { f.io.CBNodes = n }
+
+// CBNodes returns the collective aggregator-count knob (0 = adaptive).
+func (f *File) CBNodes() int { return f.io.CBNodes }
+
+// syncWorkers is the worker bound of the DistArray section-sync paths
+// (GetSection/PutSection): the larger of the independent-I/O and
+// collective worker budgets, so one-sided section transfers benefit
+// from the collective machinery's parallelism even when the
+// independent knob is left serial.
+func (f *File) syncWorkers() int {
+	w := par.Resolve(f.par)
+	if cw := par.Resolve(f.io.Parallelism); cw > w {
+		w = cw
+	}
+	return w
+}
 
 // Decomp returns the current zone decomposition of the chunk grid. It
 // is recomputed from the replicated metadata after extensions, so every

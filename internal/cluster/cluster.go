@@ -386,6 +386,48 @@ func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
+// AlltoallvSparse is Alltoallv minus the empty frames: send[r] crosses
+// the wire only when non-empty, and a receive is posted from rank r
+// only when expect[r] is true. The SPMD contract extends to the
+// pattern: expect[r] on this rank must be true exactly when send[me]
+// is non-empty on rank r — callers derive both sides from replicated
+// state, so no communication is needed to agree. Like every
+// collective it runs in the reserved negative-tag space, so user
+// point-to-point traffic on the same communicator cannot cross-match
+// with its payloads. The self-payload out[me] aliases send[me] (no
+// defensive copy); sends never block, so send-all-then-receive cannot
+// deadlock.
+func (c *Comm) AlltoallvSparse(send [][]byte, expect []bool) ([][]byte, error) {
+	// Validate before consuming a collective sequence number: a failed
+	// local call must not desynchronize this rank's tags from its peers.
+	if len(send) != c.Size() || len(expect) != c.Size() {
+		return nil, fmt.Errorf("cluster: sparse alltoallv needs %d parts, got %d/%d",
+			c.Size(), len(send), len(expect))
+	}
+	tag := c.collTag(opAlltoall)
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank || len(send[r]) == 0 {
+			continue
+		}
+		if err := c.send(r, tag, send[r]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([][]byte, c.Size())
+	out[c.rank] = send[c.rank]
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank || !expect[r] {
+			continue
+		}
+		got, _, err := c.recv(r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out[r] = got
+	}
+	return out, nil
+}
+
 // Split partitions the communicator by color; ranks with equal color
 // form a new communicator ordered by (key, rank), as MPI_Comm_split.
 func (c *Comm) Split(color, key int) (*Comm, error) {

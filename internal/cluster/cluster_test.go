@@ -572,3 +572,86 @@ func BenchmarkBarrier8(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+func TestAlltoallvSparse(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		// Ring pattern: rank r sends only to (r+1)%4, so every other
+		// pair is an empty frame that must never cross the wire.
+		size := c.Size()
+		me := c.Rank()
+		send := make([][]byte, size)
+		expect := make([]bool, size)
+		send[(me+1)%size] = []byte{byte(me), 0xAB}
+		expect[(me+size-1)%size] = true
+		got, err := c.AlltoallvSparse(send, expect)
+		if err != nil {
+			return err
+		}
+		for r, b := range got {
+			if r == (me+size-1)%size {
+				if len(b) != 2 || int(b[0]) != r || b[1] != 0xAB {
+					return fmt.Errorf("rank %d: from %d got %v", me, r, b)
+				}
+			} else if b != nil {
+				return fmt.Errorf("rank %d: unexpected payload from %d: %v", me, r, b)
+			}
+		}
+		// Self-payload aliases send[me].
+		send2 := make([][]byte, size)
+		expect2 := make([]bool, size)
+		send2[me] = []byte{9, 9}
+		got2, err := c.AlltoallvSparse(send2, expect2)
+		if err != nil {
+			return err
+		}
+		if &got2[me][0] != &send2[me][0] {
+			return errors.New("self payload was copied, want alias")
+		}
+		// Wrong part counts error out before consuming a sequence number.
+		if _, err := c.AlltoallvSparse(send2[:2], expect2); err == nil {
+			return errors.New("short sparse alltoallv accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlltoallvSparseIgnoresUserTraffic pins the tag isolation of the
+// sparse exchange: an application point-to-point message queued before
+// the collective must not be matched as collective payload (the
+// exchange runs in the reserved negative-tag space).
+func TestAlltoallvSparseIgnoresUserTraffic(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		me := c.Rank()
+		peer := 1 - me
+		// User message with an arbitrary positive tag, queued first.
+		if err := c.Send(peer, 0x5A17, []byte("app")); err != nil {
+			return err
+		}
+		send := make([][]byte, 2)
+		expect := make([]bool, 2)
+		send[peer] = []byte("collective")
+		expect[peer] = true
+		got, err := c.AlltoallvSparse(send, expect)
+		if err != nil {
+			return err
+		}
+		if string(got[peer]) != "collective" {
+			return fmt.Errorf("rank %d: exchange payload stolen: %q", me, got[peer])
+		}
+		// The app message is still intact for its real receiver.
+		app, _, err := c.Recv(peer, 0x5A17)
+		if err != nil {
+			return err
+		}
+		if string(app) != "app" {
+			return fmt.Errorf("rank %d: app payload corrupted: %q", me, app)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

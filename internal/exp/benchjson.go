@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// CollectiveBenchResult is one row of the BENCH_collective.json
+// artifact the CI bench-smoke step emits: throughput of the two-phase
+// collective under one scheduler/cb_nodes configuration, so the perf
+// trajectory of the I/O stack is tracked across PRs.
+type CollectiveBenchResult struct {
+	Config  string  `json:"config"`   // "fifo/fixed", "elevator/adaptive", ...
+	WriteMS float64 `json:"write_ms"` // wall time of write_all
+	ReadMS  float64 `json:"read_ms"`  // wall time of read_all
+	MBps    float64 `json:"mbps"`     // write+read bytes over total wall time
+	Seeks   int64   `json:"seeks"`    // simulated seeks charged by the servers
+}
+
+// CollectiveBench runs one write_all+read_all round of the E18
+// interleaved workload per scheduler/cb_nodes configuration and
+// returns the throughput rows.
+func CollectiveBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(192, 384)
+	const ranks = 4
+	const servers = 8
+	stripe := int64(2 << 10) // matches E18, so the artifact tracks its table
+	bytesMoved := float64(2 * n * n * 8)
+	var out []CollectiveBenchResult
+	for _, cfg := range e18Configs() {
+		wallW, wallR, seeks, err := e18Run(n, ranks, servers, stripe, e18Cost(), cfg.sched, cfg.cbNodes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		total := wallW + wallR
+		out = append(out, CollectiveBenchResult{
+			Config:  cfg.name,
+			WriteMS: float64(wallW) / float64(time.Millisecond),
+			ReadMS:  float64(wallR) / float64(time.Millisecond),
+			MBps:    bytesMoved / (1 << 20) * float64(time.Second) / float64(total),
+			Seeks:   seeks,
+		})
+	}
+	return out, nil
+}
+
+// WriteCollectiveBenchJSON runs CollectiveBench and writes the rows to
+// path as indented JSON.
+func WriteCollectiveBenchJSON(path string, sc Scale) error {
+	rows, err := CollectiveBench(sc)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

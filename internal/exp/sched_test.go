@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE18ShapeHolds runs the scheduler/cb_nodes ablation at Quick scale
+// and asserts its timing-independent shapes: all three tables populate,
+// the elevator never charges more seeks than FIFO on the interleaved
+// workload, and the adaptive exchange crosses the wire in strictly
+// fewer messages than one-aggregator-per-rank.
+func TestE18ShapeHolds(t *testing.T) {
+	tables := E18SchedulerCBNodes(Quick)
+	if len(tables) != 3 {
+		t.Fatalf("E18 tables = %d, want 3", len(tables))
+	}
+	main, small, strag := tables[0], tables[1], tables[2]
+	if len(main.Rows) != 4 {
+		t.Fatalf("E18 main rows = %d (notes: %v)", len(main.Rows), main.Notes)
+	}
+	if len(small.Rows) != 2 {
+		t.Fatalf("E18b rows = %d (notes: %v)", len(small.Rows), small.Notes)
+	}
+	if len(strag.Rows) != 4 {
+		t.Fatalf("E18c rows = %d (notes: %v)", len(strag.Rows), strag.Notes)
+	}
+
+	// Main table: seeks column (index 3) — every elevator row must stay
+	// at or below the fifo/fixed baseline.
+	seeks := map[string]int64{}
+	for _, row := range main.Rows {
+		seeks[row[0]] = atoi(t, row[3])
+	}
+	for _, cfg := range []string{"elevator/fixed", "elevator/adaptive"} {
+		if seeks[cfg] > seeks["fifo/fixed"] {
+			t.Errorf("%s charged %d seeks, fifo/fixed %d — elevator must not seek more",
+				cfg, seeks[cfg], seeks["fifo/fixed"])
+		}
+	}
+
+	// E18b: wire messages (index 1) — adaptive strictly fewer.
+	if len(small.Rows) == 2 {
+		fixed := atoi(t, small.Rows[0][1])
+		adaptive := atoi(t, small.Rows[1][1])
+		if adaptive >= fixed {
+			t.Errorf("adaptive exchange sent %d wire messages, fixed %d — want strictly fewer", adaptive, fixed)
+		}
+	}
+
+	out := render(tables)
+	for _, frag := range []string{"fifo/fixed", "elevator/adaptive", "SlowFactor"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("E18 output missing %q", frag)
+		}
+	}
+}
+
+// TestCollectiveBenchRows pins the BENCH_collective.json generator: one
+// row per scheduler/cb_nodes configuration, with positive throughput.
+func TestCollectiveBenchRows(t *testing.T) {
+	rows, err := CollectiveBench(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("CollectiveBench rows = %d, want 4", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.MBps <= 0 || r.WriteMS <= 0 || r.ReadMS <= 0 {
+			t.Errorf("row %s has non-positive metrics: %+v", r.Config, r)
+		}
+		seen[r.Config] = true
+	}
+	for _, cfg := range []string{"fifo/fixed", "fifo/adaptive", "elevator/fixed", "elevator/adaptive"} {
+		if !seen[cfg] {
+			t.Errorf("missing config %s", cfg)
+		}
+	}
+}

@@ -13,7 +13,12 @@ import (
 // paper's citation [25], "Noncontiguous I/O accesses through MPI-IO").
 //
 // Phase assignment: the byte range touched by any process is split into
-// stripe-aligned aggregation domains, one per process. In a read, each
+// stripe-aligned aggregation domains, one per aggregator. The
+// aggregator count is the ROMIO "cb_nodes" analogue: adaptive by
+// default (one aggregator per stripe of payload, clamped to [1,
+// nranks]) with an explicit File.CBNodes override, so small collectives
+// funnel through few aggregators — fewer, larger, elevator-friendly
+// server requests — while large ones keep full fan-out. In a read, each
 // aggregator fetches the coalesced union of its domain's requested
 // extents with large contiguous requests and ships the pieces wanted by
 // each process; in a write, each process ships its pieces to the owning
@@ -29,9 +34,10 @@ import (
 // cover disjoint extents, so completion order cannot change the bytes)
 // and the per-peer piece carving/reassembly of the exchange phase runs
 // one worker per peer (disjoint buffers). The communicator collectives
-// — Allgather, Alltoallv, and the agree round — stay in the same fixed
-// order on every rank, so the parallel path is byte-identical to the
-// serial one and the error-agreement semantics are unchanged.
+// — Allgather, the sparse exchange, and the agree round — stay in the
+// same fixed order on every rank, so the parallel path is
+// byte-identical to the serial one and the error-agreement semantics
+// are unchanged.
 
 // ReadAllAt is the collective read: every rank of the communicator must
 // call it (ranks with nothing to read pass an empty buf). Each rank
@@ -81,6 +87,16 @@ func ownedBytes(pl []placed, owner int) int64 {
 	return n
 }
 
+// sparseExchange is the exchange round of the two-phase collective:
+// cluster.AlltoallvSparse with the pair pattern derived from the
+// replicated placement lists, so only non-empty rank↔aggregator
+// payloads cross the wire. This is what makes aggregator funneling
+// (cb_nodes < nranks) pay off for small collectives: the exchange
+// touches aggregator pairs only, instead of the full rank mesh.
+func (f *File) sparseExchange(send [][]byte, expect []bool) ([][]byte, error) {
+	return f.comm.AlltoallvSparse(send, expect)
+}
+
 func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 	if viewOff < 0 {
 		return fmt.Errorf("mpiio: negative view offset %d", viewOff)
@@ -95,6 +111,7 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 	}
 	runsByRank := make([][]pfs.Run, len(all))
 	lo, hi := int64(-1), int64(-1)
+	var totalBytes int64
 	for r, blob := range all {
 		rr, err := decodeRuns(blob)
 		if err != nil {
@@ -108,13 +125,17 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 			if run.Off+run.Len > hi {
 				hi = run.Off + run.Len
 			}
+			totalBytes += run.Len
 		}
 	}
 	if lo < 0 { // nobody transfers anything
 		return nil
 	}
 
-	dom := f.domains(lo, hi)
+	// Aggregator selection: every rank computes the same count from the
+	// allgathered run lists (and the shared CBNodes setting), so the
+	// domain carving agrees everywhere without another round.
+	dom := f.domains(lo, hi, f.cbNodes(totalBytes))
 	size := f.comm.Size()
 	me := f.comm.Rank()
 	workers := f.workers()
@@ -147,7 +168,13 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 			send[owner] = out
 			return nil
 		})
-		recv, err := f.comm.Alltoallv(send)
+		// As aggregator, expect payload from exactly the ranks whose
+		// placement lists put pieces in my domain.
+		expect := make([]bool, size)
+		for r := 0; r < size; r++ {
+			expect[r] = ownedBytes(placedBy[r], me) > 0
+		}
+		recv, err := f.sparseExchange(send, expect)
 		if err != nil {
 			return err
 		}
@@ -182,7 +209,12 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 		send[r] = out
 		return nil
 	})
-	recv, err := f.comm.Alltoallv(send)
+	// Expect payload from exactly the aggregators owning my pieces.
+	expect := make([]bool, size)
+	for owner := 0; owner < size; owner++ {
+		expect[owner] = ownedBytes(myPlaced, owner) > 0
+	}
+	recv, err := f.sparseExchange(send, expect)
 	if err != nil {
 		return err
 	}
@@ -234,17 +266,43 @@ func (f *File) agree(opErr error) error {
 	return opErr
 }
 
+// cbNodes resolves the aggregator count for a collective moving
+// totalBytes: the explicit CBNodes override when set, otherwise
+// clamp(totalBytes/stripeSize, 1, nranks) — one aggregator per stripe
+// of payload, so small transfers coalesce onto few aggregators while
+// large ones keep every rank busy.
+func (f *File) cbNodes(totalBytes int64) int {
+	size := f.comm.Size()
+	switch {
+	case f.CBNodes > 0:
+		if f.CBNodes > size {
+			return size
+		}
+		return f.CBNodes
+	case f.CBNodes < 0:
+		return size
+	}
+	n := int(totalBytes / f.fs.StripeSize())
+	if n < 1 {
+		n = 1
+	}
+	if n > size {
+		n = size
+	}
+	return n
+}
+
 // domains describes the stripe-aligned aggregation domains of one
-// collective operation.
+// collective operation. Aggregators are ranks 0..n-1 of the
+// communicator; ranks past n own no domain and only exchange data.
 type domains struct {
 	lo  int64 // aligned start
 	per int64 // bytes per domain (stripe multiple)
-	n   int   // number of aggregators (== comm size)
+	n   int   // number of aggregators (<= comm size)
 }
 
-func (f *File) domains(lo, hi int64) domains {
+func (f *File) domains(lo, hi int64, n int) domains {
 	stripe := f.fs.StripeSize()
-	n := f.comm.Size()
 	alo := (lo / stripe) * stripe
 	span := hi - alo
 	per := (span + int64(n) - 1) / int64(n)

@@ -26,6 +26,17 @@ type File struct {
 	// unbounded (single round).
 	CollectiveBufferSize int64
 
+	// CBNodes controls how many aggregators a collective operation
+	// uses (the ROMIO "cb_nodes" analogue). Zero (the default) selects
+	// adaptively: clamp(totalBytes/stripeSize, 1, nranks), so small
+	// collectives funnel through few aggregators — fewer, larger,
+	// scheduler-friendly server requests — while large ones keep full
+	// fan-out. Positive values fix the count (clamped to the
+	// communicator size); negative values force one aggregator per
+	// rank (the pre-adaptive behavior). Every rank of a collective
+	// must use the same setting.
+	CBNodes int
+
 	// Parallelism bounds the worker goroutines this rank uses inside a
 	// collective call: the aggregate-phase file requests and the
 	// exchange-phase piece carving/reassembly run on up to this many

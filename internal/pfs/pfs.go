@@ -56,6 +56,11 @@ type CostModel struct {
 	// wall-clock time, so benchmarks can measure how well concurrent
 	// clients overlap I/O latency across servers.
 	RealTime bool
+	// SlowFactor models per-server bandwidth asymmetry (stragglers):
+	// server i's charged service time is multiplied by SlowFactor[i]
+	// when that entry exists and is positive. Servers beyond the slice,
+	// or with a non-positive entry, run at nominal speed (factor 1).
+	SlowFactor []float64
 }
 
 // DefaultCost models a commodity 2007-era cluster disk behind a network
@@ -69,6 +74,27 @@ func DefaultCost() CostModel {
 	}
 }
 
+// Scheduler selects the service discipline of a server's request
+// queue.
+type Scheduler int
+
+const (
+	// FIFO services requests strictly in arrival order (one request,
+	// one service, one potential seek).
+	FIFO Scheduler = iota
+	// Elevator drains the queue into a bounded reorder window and
+	// services the frozen batch as one ascending C-SCAN sweep: pending
+	// segments sort by server-local offset and physically adjacent
+	// same-direction segments merge into a single streamed service, so
+	// a sweep charges one seek per discontinuity instead of one per
+	// request. Requests arriving during a sweep wait for the next one,
+	// which bounds how long any request can be bypassed (no
+	// starvation). Note that writes to overlapping extents submitted
+	// concurrently may land in either order — exactly as under FIFO,
+	// where the channel interleaving is already scheduling-dependent.
+	Elevator
+)
+
 // Options configures a file system instance.
 type Options struct {
 	// Servers is the I/O server count (default 1).
@@ -81,6 +107,8 @@ type Options struct {
 	Dir string
 	// Cost is the service-time model (zero: no cost accounting).
 	Cost CostModel
+	// Scheduler selects the per-server queue discipline (default FIFO).
+	Scheduler Scheduler
 }
 
 func (o Options) withDefaults() Options {
@@ -187,6 +215,18 @@ type server struct {
 	lastEnd int64    // end offset of the previous request (seek detection)
 	stats   ServerStats
 	cost    CostModel
+	sched   Scheduler
+	slow    float64 // per-server bandwidth-asymmetry factor (>= 1 normally)
+}
+
+// newServer builds server i with its cost model, queue discipline, and
+// resolved straggler factor.
+func newServer(i int, opts Options) *server {
+	sv := &server{cost: opts.Cost, sched: opts.Scheduler, slow: 1}
+	if i < len(opts.Cost.SlowFactor) && opts.Cost.SlowFactor[i] > 0 {
+		sv.slow = opts.Cost.SlowFactor[i]
+	}
+	return sv
 }
 
 // charge accounts one request and returns its service time. The caller
@@ -209,18 +249,20 @@ func (sv *server) charge(n int64, off int64, write bool) time.Duration {
 	if seek {
 		d += sv.cost.SeekLatency
 	}
+	if sv.slow != 1 {
+		d = time.Duration(float64(d) * sv.slow)
+	}
 	sv.stats.Busy += d
 	sv.lastEnd = off + n
 	return d
 }
 
-func (sv *server) writeAt(p []byte, off int64) (time.Duration, error) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	d := sv.charge(int64(len(p)), off, true)
+// storeLocked moves p into the backend at off and grows the per-server
+// size, with no accounting. Must be called with sv.mu held.
+func (sv *server) storeLocked(p []byte, off int64) error {
 	if sv.f != nil {
 		if _, err := sv.f.WriteAt(p, off); err != nil {
-			return d, err
+			return err
 		}
 	} else {
 		if need := off + int64(len(p)); need > int64(len(sv.mem)) {
@@ -233,36 +275,46 @@ func (sv *server) writeAt(p []byte, off int64) (time.Duration, error) {
 	if end := off + int64(len(p)); end > sv.size {
 		sv.size = end
 	}
-	return d, nil
+	return nil
 }
 
-func (sv *server) readAt(p []byte, off int64) (time.Duration, error) {
-	sv.mu.Lock()
-	defer sv.mu.Unlock()
-	d := sv.charge(int64(len(p)), off, false)
+// loadLocked fills p from the backend at off (holes and regions past
+// the per-server EOF read as zeros), with no accounting. Must be called
+// with sv.mu held.
+func (sv *server) loadLocked(p []byte, off int64) error {
+	for i := range p {
+		p[i] = 0
+	}
 	if sv.f != nil {
-		// Holes and regions past the per-server EOF read as zeros.
-		for i := range p {
-			p[i] = 0
-		}
 		if off < sv.size {
 			n := int64(len(p))
 			if off+n > sv.size {
 				n = sv.size - off
 			}
 			if _, err := sv.f.ReadAt(p[:n], off); err != nil {
-				return d, err
+				return err
 			}
 		}
-		return d, nil
-	}
-	for i := range p {
-		p[i] = 0
+		return nil
 	}
 	if off < int64(len(sv.mem)) {
 		copy(p, sv.mem[off:])
 	}
-	return d, nil
+	return nil
+}
+
+func (sv *server) writeAt(p []byte, off int64) (time.Duration, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	d := sv.charge(int64(len(p)), off, true)
+	return d, sv.storeLocked(p, off)
+}
+
+func (sv *server) readAt(p []byte, off int64) (time.Duration, error) {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	d := sv.charge(int64(len(p)), off, false)
+	return d, sv.loadLocked(p, off)
 }
 
 // FS is one striped logical file. Methods are safe for concurrent use.
@@ -271,7 +323,9 @@ func (sv *server) readAt(p []byte, off int64) (time.Duration, error) {
 // (queue.go): one logical ReadAt/WriteAt/ReadV/WriteV enqueues all of
 // its per-server segments up front and waits for the completions, so
 // service time overlaps across servers even within a single call while
-// each server still services one request at a time, in FIFO order.
+// each server still services one request at a time, in the order its
+// Scheduler imposes (arrival order under FIFO, ascending C-SCAN sweeps
+// under Elevator).
 type FS struct {
 	opts    Options
 	servers []*server
@@ -292,7 +346,7 @@ func Create(name string, opts Options) (*FS, error) {
 	opts = opts.withDefaults()
 	fs := &FS{opts: opts, servers: make([]*server, opts.Servers)}
 	for i := range fs.servers {
-		sv := &server{cost: opts.Cost}
+		sv := newServer(i, opts)
 		if opts.Backend == Disk {
 			path := filepath.Join(opts.Dir, fmt.Sprintf("%s.s%d", name, i))
 			f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
@@ -328,7 +382,9 @@ func Open(name string, opts Options) (*FS, error) {
 			f.Close()
 			return nil, err
 		}
-		fs.servers[i] = &server{cost: opts.Cost, f: f, size: st.Size()}
+		sv := newServer(i, opts)
+		sv.f, sv.size = f, st.Size()
+		fs.servers[i] = sv
 		// Reconstruct a lower bound of the logical size from the stripe
 		// layout: server i holding b bytes implies logical size >= the
 		// end of its last full-or-partial stripe unit.

@@ -1,22 +1,39 @@
 // queue.go gives every simulated I/O server its own request queue: a
-// dedicated service goroutine draining a FIFO channel, the way each
-// PVFS2 server daemon services its own request stream. A logical FS
-// operation enqueues all of its per-server segments up front and then
-// waits for the completions, so when a request vector spans several
-// servers their service times overlap — the caller pays max-per-server
-// instead of the sum — while each individual server still services one
-// request at a time, in arrival order. CostModel.RealTime sleeps inside
-// the server loop (the server is busy; its queue backs up), not in the
-// caller, which is what makes the overlap measurable as wall-clock time
-// by the collective-I/O benchmarks.
+// dedicated service goroutine draining a channel, the way each PVFS2
+// server daemon services its own request stream. A logical FS operation
+// enqueues all of its per-server segments up front and then waits for
+// the completions, so when a request vector spans several servers their
+// service times overlap — the caller pays max-per-server instead of the
+// sum — while each individual server still services one request at a
+// time. CostModel.RealTime sleeps inside the server loop (the server is
+// busy; its queue backs up), not in the caller, which is what makes the
+// overlap measurable as wall-clock time by the collective-I/O
+// benchmarks.
+//
+// The order a server services its queue in is the Options.Scheduler
+// knob: FIFO takes requests strictly in arrival order; Elevator freezes
+// the pending requests into a bounded reorder window and services the
+// window as one ascending C-SCAN sweep, merging physically adjacent
+// same-direction segments into single streamed services so a sweep
+// charges one seek per discontinuity instead of one per request.
 package pfs
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // queueDepth is the per-server channel buffer: deep enough that a
 // dispatcher rarely blocks handing over a striped vector, small enough
 // to bound memory for runaway producers.
 const queueDepth = 64
+
+// elevatorWindow bounds one C-SCAN reorder window. The window is frozen
+// before the sweep starts: requests arriving during the sweep wait for
+// the next one, so a stream of hot low-offset requests can delay any
+// other request by at most one full window's service — the fairness
+// property the starvation test pins.
+const elevatorWindow = 32
 
 // ioSeg is one per-server segment of a logical operation, pre-resolved
 // to a server-local offset and a sub-slice of the caller's buffer.
@@ -67,11 +84,15 @@ func (fs *FS) stopQueues() {
 	fs.qwg.Wait()
 }
 
-// serve is one server's service loop: execute, sleep the charged
-// service time when the cost model is real-time (the server is busy —
-// later requests on this queue wait, other servers keep serving), then
-// signal the dispatcher.
+// serve is one server's service loop, under the configured discipline.
 func (sv *server) serve(ch chan *ioReq) {
+	if sv.sched == Elevator {
+		sv.serveElevator(ch)
+		return
+	}
+	// FIFO: execute, sleep the charged service time when the cost model
+	// is real-time (the server is busy — later requests on this queue
+	// wait, other servers keep serving), then signal the dispatcher.
 	for req := range ch {
 		var d time.Duration
 		if req.seg.write {
@@ -84,6 +105,89 @@ func (sv *server) serve(ch chan *ioReq) {
 		}
 		req.done <- req
 	}
+}
+
+// serveElevator is the batching C-SCAN loop: block for one request,
+// opportunistically drain whatever else is already queued (up to the
+// window), freeze the batch, and service it as one ascending sweep. A
+// receive that reports the channel closed means the buffer is already
+// empty, so the loop can exit right after servicing its last batch.
+func (sv *server) serveElevator(ch chan *ioReq) {
+	notify := func(req *ioReq) { req.done <- req }
+	for {
+		req, ok := <-ch
+		if !ok {
+			return
+		}
+		batch := []*ioReq{req}
+		open := true
+	drain:
+		for len(batch) < elevatorWindow {
+			select {
+			case r, ok := <-ch:
+				if !ok {
+					open = false
+					break drain
+				}
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		sv.serviceSweep(batch, notify)
+		if !open {
+			return
+		}
+	}
+}
+
+// serviceSweep services one frozen batch as a single ascending C-SCAN
+// sweep: requests sort by server-local offset (stable, so requests at
+// the same offset keep arrival order), and maximal groups of physically
+// adjacent same-direction segments are serviced as one streamed request
+// — one charge (at most one seek, one request overhead, byte time for
+// the whole stream) covering every segment of the group. notify is
+// called once per request, after its group has been serviced.
+func (sv *server) serviceSweep(batch []*ioReq, notify func(*ioReq)) {
+	sort.SliceStable(batch, func(i, j int) bool {
+		return batch[i].seg.off < batch[j].seg.off
+	})
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].seg.write == batch[i].seg.write &&
+			batch[j].seg.off == batch[j-1].seg.off+int64(len(batch[j-1].seg.p)) {
+			j++
+		}
+		d := sv.serviceRun(batch[i:j])
+		if sv.cost.RealTime && d > 0 {
+			time.Sleep(d)
+		}
+		for k := i; k < j; k++ {
+			notify(batch[k])
+		}
+		i = j
+	}
+}
+
+// serviceRun executes one merged group of physically contiguous
+// same-direction segments: a single charge for the whole stream, then
+// the per-segment data movement.
+func (sv *server) serviceRun(reqs []*ioReq) time.Duration {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	var total int64
+	for _, r := range reqs {
+		total += int64(len(r.seg.p))
+	}
+	d := sv.charge(total, reqs[0].seg.off, reqs[0].seg.write)
+	for _, r := range reqs {
+		if r.seg.write {
+			r.err = sv.storeLocked(r.seg.p, r.seg.off)
+		} else {
+			r.err = sv.loadLocked(r.seg.p, r.seg.off)
+		}
+	}
+	return d
 }
 
 // dispatch runs a segment list through the per-server queues and waits
@@ -117,8 +221,19 @@ func (fs *FS) dispatch(segs []ioSeg) (int64, error) {
 		sent++
 	}
 	fs.qmu.RUnlock()
+	completed := make([]*ioReq, 0, sent)
 	for i := 0; i < sent; i++ {
-		r := <-done
+		completed = append(completed, <-done)
+	}
+	return settle(segs, completed, errIdx, firstErr)
+}
+
+// settle folds the service results into the dispatch contract shared
+// by the queued and synchronous paths: the earliest failure in
+// submission order wins, and the returned count is the bytes of the
+// segments preceding it.
+func settle(segs []ioSeg, reqs []*ioReq, errIdx int, firstErr error) (int64, error) {
+	for _, r := range reqs {
 		if r.err != nil && r.idx < errIdx {
 			errIdx, firstErr = r.idx, r.err
 		}
@@ -130,30 +245,61 @@ func (fs *FS) dispatch(segs []ioSeg) (int64, error) {
 	return n, firstErr
 }
 
-// dispatchSync is the post-Close fallback: service each segment in the
-// caller, in order, with the original synchronous semantics.
+// dispatchSync is the post-Close fallback: service the segments in the
+// caller, under the same discipline the queues would have applied, and
+// against the same per-server lastEnd state, so the seek detector sees
+// one continuous request history across Close. For streams whose sweep
+// partition cannot change the outcome — per-server ascending, or
+// mutually discontiguous segments — the charged seeks are identical to
+// the queued path's (pinned by TestSchedulerCloseSeekParity); for
+// streams the elevator actually reorders, the queued path's counts
+// additionally depend on how arrivals happened to fall into reorder
+// windows. Injection is consulted in submission order and stops
+// submission, as in dispatch; already-accepted segments are still
+// serviced, and the returned error is the earliest failure in
+// submission order.
 func (fs *FS) dispatchSync(segs []ioSeg) (int64, error) {
-	var n int64
+	errIdx := len(segs)
+	var firstErr error
+	accepted := len(segs)
 	for i := range segs {
 		s := &segs[i]
 		if err := fs.inject(s.server, s.write, s.off, int64(len(s.p))); err != nil {
-			return n, err
+			errIdx, firstErr, accepted = i, err, i
+			break
 		}
-		sv := fs.servers[s.server]
-		var d time.Duration
-		var err error
-		if s.write {
-			d, err = sv.writeAt(s.p, s.off)
-		} else {
-			d, err = sv.readAt(s.p, s.off)
-		}
-		if sv.cost.RealTime && d > 0 {
-			time.Sleep(d)
-		}
-		if err != nil {
-			return n, err
-		}
-		n += int64(len(s.p))
 	}
-	return n, nil
+	reqs := make([]*ioReq, accepted)
+	for i := 0; i < accepted; i++ {
+		reqs[i] = &ioReq{seg: segs[i], idx: i}
+	}
+	if fs.opts.Scheduler == Elevator {
+		// Per server, the accepted segments form one frozen batch — the
+		// same sort-and-merge sweep a queue worker applies.
+		for s, sv := range fs.servers {
+			var batch []*ioReq
+			for _, r := range reqs {
+				if r.seg.server == s {
+					batch = append(batch, r)
+				}
+			}
+			if len(batch) > 0 {
+				sv.serviceSweep(batch, func(*ioReq) {})
+			}
+		}
+	} else {
+		for _, r := range reqs {
+			sv := fs.servers[r.seg.server]
+			var d time.Duration
+			if r.seg.write {
+				d, r.err = sv.writeAt(r.seg.p, r.seg.off)
+			} else {
+				d, r.err = sv.readAt(r.seg.p, r.seg.off)
+			}
+			if sv.cost.RealTime && d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return settle(segs, reqs, errIdx, firstErr)
 }

@@ -1,0 +1,385 @@
+package pfs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// schedCost is a model where every seek matters: no real-time sleeps,
+// so tests observe pure accounting.
+func schedCost() CostModel {
+	return CostModel{
+		RequestOverhead: 10 * time.Microsecond,
+		SeekLatency:     time.Millisecond,
+		ByteTime:        time.Nanosecond,
+	}
+}
+
+// interleavedRuns builds `streams` disjoint ascending regions and
+// interleaves them round-robin — the arrival pattern of a multi-rank
+// collective hitting one file, and the worst case for FIFO seek
+// accounting.
+func interleavedRuns(rng *rand.Rand, streams, perStream int, regionGap int64) []Run {
+	heads := make([]int64, streams)
+	for s := range heads {
+		heads[s] = int64(s) * regionGap
+	}
+	var runs []Run
+	for i := 0; i < perStream; i++ {
+		for s := 0; s < streams; s++ {
+			l := int64(16 + rng.Intn(200))
+			runs = append(runs, Run{Off: heads[s], Len: l})
+			heads[s] += l // contiguous within the stream
+		}
+	}
+	return runs
+}
+
+// TestElevatorPermutationOfFIFO is the scheduler property test: the
+// elevator services exactly the bytes FIFO services (a permutation of
+// the request stream — per-server byte counters and the resulting file
+// are identical) while charging no more seeks, on an interleaved
+// multi-stream workload.
+func TestElevatorPermutationOfFIFO(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		rng := rand.New(rand.NewSource(int64(100 + trial)))
+		const servers = 3
+		stripe := int64(128)
+		mk := func(sched Scheduler) *FS {
+			fs, err := Create("prop", Options{
+				Servers: servers, StripeSize: stripe, Scheduler: sched, Cost: schedCost(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		}
+		fifo, elev := mk(FIFO), mk(Elevator)
+		defer fifo.Close()
+		defer elev.Close()
+
+		runs := interleavedRuns(rng, 4, 8, 64<<10)
+		var total int64
+		for _, r := range runs {
+			total += r.Len
+		}
+		payload := make([]byte, total)
+		rng.Read(payload)
+		if _, err := fifo.WriteV(runs, payload); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := elev.WriteV(runs, payload); err != nil {
+			t.Fatal(err)
+		}
+		back := make([]byte, total)
+		if _, err := elev.ReadV(runs, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("trial %d: elevator readback mismatch", trial)
+		}
+		if _, err := fifo.ReadV(runs, back); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, payload) {
+			t.Fatalf("trial %d: fifo readback mismatch", trial)
+		}
+
+		fs, es := fifo.Stats(), elev.Stats()
+		for i := range fs.PerServer {
+			f, e := fs.PerServer[i], es.PerServer[i]
+			if f.BytesRead != e.BytesRead || f.BytesWritten != e.BytesWritten {
+				t.Fatalf("trial %d server %d: elevator moved %d/%d bytes, fifo %d/%d — not a permutation",
+					trial, i, e.BytesRead, e.BytesWritten, f.BytesRead, f.BytesWritten)
+			}
+		}
+		if es.Seeks() > fs.Seeks() {
+			t.Fatalf("trial %d: elevator seeks %d > fifo seeks %d", trial, es.Seeks(), fs.Seeks())
+		}
+		if es.Requests() > fs.Requests() {
+			t.Fatalf("trial %d: elevator requests %d > fifo requests %d", trial, es.Requests(), fs.Requests())
+		}
+	}
+}
+
+// TestElevatorNoStarvation pins the fairness of the frozen reorder
+// window: while several goroutines hammer a single real-time server
+// with low-offset requests, one high-offset request must still be
+// serviced promptly (a greedy shortest-seek scheduler would starve it
+// until the hot stream stops).
+func TestElevatorNoStarvation(t *testing.T) {
+	fs, err := Create("fair", Options{
+		Servers: 1, StripeSize: 1 << 20, Scheduler: Elevator,
+		Cost: CostModel{RequestOverhead: 200 * time.Microsecond, RealTime: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := fs.WriteAt(buf, int64((g*97+i*13)%4096)); err != nil {
+					return
+				}
+			}
+		}(g)
+	}
+	time.Sleep(10 * time.Millisecond) // let the low-offset stream heat up
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := fs.ReadAt(make([]byte, 64), 1<<19)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("high-offset request starved behind the low-offset stream")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestElevatorSyncSweepMergesAdjacent drives the deterministic
+// synchronous path (post-Close): a write spanning many stripe units of
+// a single server is one physically contiguous ascending sweep, so the
+// elevator services it as a single streamed request — one request, no
+// seeks (the stream starts at the server's initial position), all
+// bytes accounted.
+func TestElevatorSyncSweepMergesAdjacent(t *testing.T) {
+	fs, err := Create("merge", Options{
+		Servers: 1, StripeSize: 64, Scheduler: Elevator, Cost: schedCost(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.stopQueues() // force the synchronous path (deterministic batching)
+
+	data := make([]byte, 64*10)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := fs.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.Requests() != 1 {
+		t.Errorf("merged sweep requests = %d, want 1", st.Requests())
+	}
+	if st.Seeks() != 0 {
+		t.Errorf("merged sweep seeks = %d, want 0", st.Seeks())
+	}
+	if st.Bytes() != int64(len(data)) {
+		t.Errorf("merged sweep bytes = %d, want %d", st.Bytes(), len(data))
+	}
+	got := make([]byte, len(data))
+	if _, err := fs.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("merged sweep readback mismatch")
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerCloseSeekParity pins the accounting-drift fix: the same
+// vectored operation must charge identical seeks and busy time whether
+// it is serviced through the queues or through the post-Close
+// synchronous fallback, for both disciplines. The runs are mutually
+// discontiguous (no two segments merge), so elevator batching cannot
+// shift the counts between the two paths.
+func TestSchedulerCloseSeekParity(t *testing.T) {
+	for _, sched := range []Scheduler{FIFO, Elevator} {
+		runs := []Run{
+			{Off: 100, Len: 32}, {Off: 1000, Len: 32}, {Off: 5000, Len: 32},
+			{Off: 9000, Len: 32}, {Off: 13000, Len: 32},
+		}
+		var total int64
+		for _, r := range runs {
+			total += r.Len
+		}
+		payload := make([]byte, total)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		mk := func() *FS {
+			fs, err := Create("parity", Options{
+				Servers: 2, StripeSize: 256, Scheduler: sched, Cost: schedCost(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		}
+		queued, synced := mk(), mk()
+		defer queued.Close()
+		if _, err := queued.WriteV(runs, payload); err != nil {
+			t.Fatal(err)
+		}
+		synced.stopQueues() // Close already landed: synchronous fallback
+		if _, err := synced.WriteV(runs, payload); err != nil {
+			t.Fatal(err)
+		}
+		q, s := queued.Stats(), synced.Stats()
+		for i := range q.PerServer {
+			if q.PerServer[i].Seeks != s.PerServer[i].Seeks {
+				t.Errorf("sched %v server %d: queued seeks %d != sync seeks %d",
+					sched, i, q.PerServer[i].Seeks, s.PerServer[i].Seeks)
+			}
+			if q.PerServer[i].Busy != s.PerServer[i].Busy {
+				t.Errorf("sched %v server %d: queued busy %v != sync busy %v",
+					sched, i, q.PerServer[i].Busy, s.PerServer[i].Busy)
+			}
+		}
+		if err := synced.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSyncFallbackSharesLastEnd: the seek detector's lastEnd state
+// carries across Close, so a post-Close request that continues exactly
+// where the queued stream ended charges no seek.
+func TestSyncFallbackSharesLastEnd(t *testing.T) {
+	for _, sched := range []Scheduler{FIFO, Elevator} {
+		fs, err := Create("lastend", Options{
+			Servers: 1, StripeSize: 1 << 20, Scheduler: sched, Cost: schedCost(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 512)
+		if _, err := fs.WriteAt(buf, 0); err != nil { // queued path
+			t.Fatal(err)
+		}
+		fs.stopQueues()
+		if _, err := fs.WriteAt(buf, 512); err != nil { // sync path, contiguous
+			t.Fatal(err)
+		}
+		if got := fs.Stats().Seeks(); got != 0 {
+			t.Errorf("sched %v: contiguous write across Close charged %d seeks, want 0", sched, got)
+		}
+		if _, err := fs.WriteAt(buf, 4096); err != nil { // sync path, jump
+			t.Fatal(err)
+		}
+		if got := fs.Stats().Seeks(); got != 1 {
+			t.Errorf("sched %v: discontiguous write after Close charged %d seeks, want 1", sched, got)
+		}
+		if err := fs.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSlowFactorStraggler: a server with SlowFactor k accrues exactly k
+// times the busy time of an identical nominal-speed peer.
+func TestSlowFactorStraggler(t *testing.T) {
+	cost := schedCost()
+	cost.SlowFactor = []float64{3, 0, 1} // server 0 is 3x slow; 0 and 1 mean nominal
+	fs, err := Create("slow", Options{Servers: 3, StripeSize: 64, Cost: cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	// One full stripe round: each server gets one identical request.
+	buf := make([]byte, 3*64)
+	if _, err := fs.WriteAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.PerServer[1].Busy != st.PerServer[2].Busy {
+		t.Fatalf("nominal servers diverge: %v vs %v", st.PerServer[1].Busy, st.PerServer[2].Busy)
+	}
+	if got, want := st.PerServer[0].Busy, 3*st.PerServer[1].Busy; got != want {
+		t.Fatalf("straggler busy = %v, want %v (3x nominal)", got, want)
+	}
+}
+
+// TestElevatorConcurrentStress hammers the elevator queues from many
+// goroutines with disjoint regions (run with -race): data must survive
+// reordering and merging, and the byte accounting must be exact.
+func TestElevatorConcurrentStress(t *testing.T) {
+	const (
+		servers = 4
+		stripe  = int64(128)
+		region  = int64(8 << 10)
+		workers = 8
+		iters   = 30
+	)
+	fs, err := Create("estress", Options{
+		Servers: servers, StripeSize: stripe, Scheduler: Elevator,
+		Cost: CostModel{RequestOverhead: time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 7))
+			base := int64(g) * region
+			for it := 0; it < iters; it++ {
+				off := base + int64(rng.Intn(512))
+				l := int64(1 + rng.Intn(700))
+				if off+l > base+region {
+					l = base + region - off
+				}
+				payload := make([]byte, l)
+				rng.Read(payload)
+				if _, err := fs.WriteAt(payload, off); err != nil {
+					errs[g] = err
+					return
+				}
+				back := make([]byte, l)
+				if _, err := fs.ReadAt(back, off); err != nil {
+					errs[g] = err
+					return
+				}
+				if !bytes.Equal(back, payload) {
+					errs[g] = errReadback
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+	if fs.Stats().Bytes() == 0 {
+		t.Fatal("no bytes accounted")
+	}
+}
+
+var errReadback = &readbackError{}
+
+type readbackError struct{}
+
+func (*readbackError) Error() string { return "readback mismatch" }
