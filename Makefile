@@ -22,11 +22,12 @@ race:
 	$(GO) test -race ./internal/mpool ./... -short
 
 # Collective-I/O differential + queue stress tests under the race
-# detector (drxmp_collective_par_test.go, internal/pfs/queue_race_test.go,
-# internal/mpiio collective suites). The heavy suites skip under the
-# -short race target above and run full-size here.
+# detector (drxmp_collective_par_test.go, drxmp_wb_diff_test.go,
+# internal/pfs queue/close-flusher stress, internal/mpiio collective +
+# write-behind suites). The heavy suites skip under the -short race
+# target above and run full-size here.
 race-collective:
-	$(GO) test -race -run Collective . ./internal/pfs ./internal/mpiio
+	$(GO) test -race -run 'Collective|WriteBehind|CloseFlusher' . ./internal/pfs ./internal/mpiio
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
@@ -35,8 +36,8 @@ bench:
 # BenchmarkCollectiveScheduler (parallel vs serial two-phase, FIFO vs
 # elevator scheduling over real-time servers), plus the
 # BENCH_collective.json artifact (MB/s + seeks for FIFO vs elevator,
-# fixed vs adaptive cb_nodes) that tracks the perf trajectory across
-# PRs.
+# fixed vs adaptive cb_nodes, and the E19 write-behind policy rows)
+# that tracks the perf trajectory across PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json

@@ -246,7 +246,21 @@ func (d *DistArray) PutSection(box Box, src []byte) error {
 }
 
 // FlushToFile collectively writes every zone back to the principal
-// array file (checkpointing the distributed state).
+// array file. With write-behind enabled the zones ride the dirty-extent
+// cache like any collective write: collective reads (and this rank's
+// own reads) stay coherent, but the bytes reach the I/O servers only on
+// the watermark, Sync, or Close — use Checkpoint when durability is the
+// point.
 func (d *DistArray) FlushToFile() error {
 	return d.f.WriteSectionAll(d.box, d.local, d.order)
+}
+
+// Checkpoint collectively writes every zone back to the principal
+// array file and Syncs, so the distributed state is durably on the I/O
+// servers even when collective writes ride write-behind.
+func (d *DistArray) Checkpoint() error {
+	if err := d.FlushToFile(); err != nil {
+		return err
+	}
+	return d.f.Sync()
 }

@@ -106,6 +106,20 @@ type Options struct {
 	// must pass the same value. The queue discipline of the backing
 	// servers is the FS.Scheduler knob (pfs.FIFO / pfs.Elevator).
 	CBNodes int
+	// WriteBehindBytes selects write-behind buffering for collective
+	// writes: 0 (the default) dispatches each collective's coalesced
+	// union immediately; > 0 buffers dirty unions across collectives
+	// and flushes the cache in one vectored sweep once that many bytes
+	// are buffered (the watermark counts the file's total buffered
+	// bytes — the cache is shared by every rank's handle); < 0 buffers
+	// without bound (flush on Sync, Close, or read coherence only).
+	// Reads through any handle — independent or collective, any rank —
+	// observe the deferred bytes: intersecting dirty extents are
+	// flushed first. Use Sync for durability ordering (bytes on the
+	// servers) and around concurrent conflicting access, whose outcome
+	// is otherwise undefined exactly as in MPI. Every rank must pass
+	// the same value.
+	WriteBehindBytes int64
 }
 
 // File is one process's handle on a shared extendible array file. All
@@ -219,6 +233,7 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 	}
 	f.io.Parallelism = opts.CollectiveParallelism
 	f.io.CBNodes = opts.CBNodes
+	f.io.WriteBehind = opts.WriteBehindBytes
 	if err := f.persistMeta(); err != nil {
 		// Rank 0 owns the store it just created: release it (queue
 		// goroutines, disk files) rather than leak it on a failed create.
@@ -279,9 +294,14 @@ func Open(c *cluster.Comm, path string, fsOpts pfs.Options, kind zone.Kind, cycl
 	return f, c.Barrier()
 }
 
-// Close collectively closes the array (DRXMP_Close). Rank 0 persists the
-// metadata and closes the shared store.
+// Close collectively closes the array (DRXMP_Close). Every rank first
+// flushes its write-behind cache (deferred collective writes become
+// durable before the store shuts down — the flush-before-close
+// guarantee), then rank 0 persists the metadata and closes the shared
+// store. The store's own close-flusher hook (pfs.AddCloseFlusher) backs
+// this up for callers that close the FS directly.
 func (f *File) Close() error {
+	serr := f.io.Sync()
 	if err := f.persistMeta(); err != nil {
 		return err
 	}
@@ -289,9 +309,20 @@ func (f *File) Close() error {
 		return err
 	}
 	if f.comm.Rank() == 0 {
-		return f.fs.Close()
+		if err := f.fs.Close(); err != nil && serr == nil {
+			serr = err
+		}
 	}
-	return nil
+	return serr
+}
+
+// Sync collectively flushes the file's write-behind cache to the I/O
+// servers (MPI_File_sync): flush, then one agreement round that
+// doubles as a barrier, so every rank returns only after all deferred
+// collective writes are durably on the servers and any rank's flush
+// failure surfaces everywhere. Every rank must call it.
+func (f *File) Sync() error {
+	return f.io.SyncAll()
 }
 
 func (f *File) persistMeta() error {
@@ -355,6 +386,25 @@ func (f *File) SetCBNodes(n int) { f.io.CBNodes = n }
 
 // CBNodes returns the collective aggregator-count knob (0 = adaptive).
 func (f *File) CBNodes() int { return f.io.CBNodes }
+
+// SetWriteBehind adjusts the write-behind policy after open (same
+// semantics as Options.WriteBehindBytes; must match on every rank).
+// Disabling (n == 0) flushes any buffered dirty extents first, so no
+// deferred bytes can linger behind a disabled cache.
+func (f *File) SetWriteBehind(n int64) error {
+	f.io.WriteBehind = n
+	if n == 0 {
+		return f.io.Sync()
+	}
+	return nil
+}
+
+// WriteBehind returns the write-behind policy knob (0 = immediate).
+func (f *File) WriteBehind() int64 { return f.io.WriteBehind }
+
+// Dirty returns the bytes currently buffered by this rank's
+// write-behind cache (benchmarks and tests).
+func (f *File) Dirty() int64 { return f.io.Dirty() }
 
 // syncWorkers is the worker bound of the DistArray section-sync paths
 // (GetSection/PutSection): the larger of the independent-I/O and
@@ -580,13 +630,8 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 	// parallel run-group path. Collective I/O parallelizes inside the
 	// two-phase exchange itself (mpiio honors io.Parallelism, set from
 	// Options.CollectiveParallelism): the communicator collectives keep
-	// their fixed rank order, only the aggregate-stage requests and
-	// piece carving fan out.
-	if !collective {
-		if workers := f.Parallelism(); workers > 1 && len(runs) > 1 {
-			return f.sectionIOParallel(runs, scratch, buf, write, workers)
-		}
-	}
+	// their fixed rank order, only the piece carving fans out — the
+	// aggregate stage is a single vectored request per aggregator.
 	var blocks []mpiio.Block
 	var pruns []pfs.Run
 	if collective {
@@ -604,6 +649,17 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 				continue
 			}
 			pruns = append(pruns, pfs.Run{Off: r.fileOff, Len: l})
+		}
+		// Write-behind coherence before any direct store access: reads
+		// flush this rank's intersecting dirty extents, writes punch the
+		// about-to-be-overwritten ranges out of the cache. Both the
+		// serial and parallel dispatch below then talk to the store
+		// directly.
+		if err := f.io.Coherent(pruns, write); err != nil {
+			return err
+		}
+		if workers := f.Parallelism(); workers > 1 && len(runs) > 1 {
+			return f.sectionIOParallel(runs, scratch, buf, write, workers)
 		}
 	}
 

@@ -30,7 +30,7 @@ func CollectiveBench(sc Scale) ([]CollectiveBenchResult, error) {
 	bytesMoved := float64(2 * n * n * 8)
 	var out []CollectiveBenchResult
 	for _, cfg := range e18Configs() {
-		wallW, wallR, seeks, err := e18Run(n, ranks, servers, stripe, e18Cost(), cfg.sched, cfg.cbNodes)
+		wallW, wallR, seeks, _, _, err := e18Run(n, ranks, servers, stripe, e18Cost(), cfg.sched, cfg.cbNodes)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", cfg.name, err)
 		}
@@ -46,13 +46,46 @@ func CollectiveBench(sc Scale) ([]CollectiveBenchResult, error) {
 	return out, nil
 }
 
-// WriteCollectiveBenchJSON runs CollectiveBench and writes the rows to
-// path as indented JSON.
+// WriteBehindBench runs the E19 multi-round collective write epoch per
+// write-behind policy and returns throughput rows for the artifact
+// ("e19/immediate", "e19/watermark", "e19/close-only"). ReadMS is zero
+// — the epoch is write-only; WriteMS includes the final Sync, so
+// deferred flush time is charged to the policy that deferred it.
+func WriteBehindBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(192, 384)
+	const ranks = 4
+	const servers = 8
+	stripe := int64(2 << 10)
+	bytesMoved := float64(n) * float64(n) * 8
+	var out []CollectiveBenchResult
+	for _, cfg := range e19Configs() {
+		wall, seeks, _, _, _, err := e19Run(n, ranks, servers, 1, stripe, cfg.wb)
+		if err != nil {
+			return nil, fmt.Errorf("e19/%s: %w", cfg.name, err)
+		}
+		out = append(out, CollectiveBenchResult{
+			Config:  "e19/" + cfg.name,
+			WriteMS: float64(wall) / float64(time.Millisecond),
+			MBps:    bytesMoved / (1 << 20) * float64(time.Second) / float64(wall),
+			Seeks:   seeks,
+		})
+	}
+	return out, nil
+}
+
+// WriteCollectiveBenchJSON runs CollectiveBench and WriteBehindBench
+// and writes the combined rows to path as indented JSON — the
+// BENCH_collective.json artifact CI uploads per PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
 	rows, err := CollectiveBench(sc)
 	if err != nil {
 		return err
 	}
+	wbRows, err := WriteBehindBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, wbRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

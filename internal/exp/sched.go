@@ -53,16 +53,25 @@ func e18Configs() []e18Config {
 }
 
 // e18Run executes one collective write_all+read_all round over an
-// interleaved slab decomposition and reports the wall time of each op
-// and the seeks the servers charged.
+// interleaved slab decomposition and reports the wall time of each op,
+// the seeks the servers charged, and the per-request size and
+// service-latency histograms.
 func e18Run(n, ranks, servers int, stripe int64, cost pfs.CostModel,
-	sched pfs.Scheduler, cbNodes int) (wallW, wallR time.Duration, seeks int64, err error) {
+	sched pfs.Scheduler, cbNodes int) (wallW, wallR time.Duration, seeks int64,
+	sizes, lat pfs.Hist, err error) {
 	const chunk = 32
 	err = cluster.Run(ranks, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, fmt.Sprintf("e18-%v-%d", sched, cbNodes), drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
 			FS: pfs.Options{
 				Servers: servers, StripeSize: stripe, Cost: cost, Scheduler: sched,
+				// The fixed pre-knob reorder window: E18's seek counts are
+				// compared against the fifo/fixed baseline (and across
+				// PRs), and the auto window's batch sizes depend on
+				// arrival timing, which would make that comparison
+				// jittery under load. The auto window is measured by E19
+				// and pinned by the pfs window tests.
+				WindowSize: 32,
 			},
 			CollectiveParallelism: 32,
 			CBNodes:               cbNodes,
@@ -103,11 +112,14 @@ func e18Run(n, ranks, servers int, stripe int64, cost pfs.CostModel,
 		}
 		if c.Rank() == 0 {
 			wallR = time.Since(start)
-			seeks = f.FS().Stats().Seeks()
+			st := f.FS().Stats()
+			seeks = st.Seeks()
+			sizes = st.ReqSizes()
+			lat = st.SvcTimes()
 		}
 		return nil
 	})
-	return wallW, wallR, seeks, err
+	return wallW, wallR, seeks, sizes, lat, err
 }
 
 // E18SchedulerCBNodes measures elevator scheduling and adaptive
@@ -127,7 +139,7 @@ func E18SchedulerCBNodes(sc Scale) []*report.Table {
 	var base time.Duration
 	var baseSeeks int64
 	for _, cfg := range e18Configs() {
-		wallW, wallR, seeks, err := e18Run(n, ranks, servers, stripe, e18Cost(), cfg.sched, cfg.cbNodes)
+		wallW, wallR, seeks, sizes, lat, err := e18Run(n, ranks, servers, stripe, e18Cost(), cfg.sched, cfg.cbNodes)
 		if err != nil {
 			main.AddNote("%s: %v", cfg.name, err)
 			continue
@@ -139,8 +151,11 @@ func E18SchedulerCBNodes(sc Scale) []*report.Table {
 		main.AddRow(cfg.name, wallW.Round(time.Microsecond), wallR.Round(time.Microsecond),
 			seeks, fmt.Sprintf("%.1f", bytesMoved*float64(time.Second)/float64(total)),
 			report.Ratio(float64(base), float64(total)))
+		main.AddNote("%s request sizes: %s | service latency: %s", cfg.name,
+			report.PowHist(sizes.Counts(), report.Bytes),
+			report.PowHist(lat.Counts(), report.Micros))
 	}
-	main.AddNote("shape check: elevator rows cut seeks vs the fifo/fixed baseline (%d) and wall time falls with them; adaptive keeps full fan-out here (large transfer), so its effect shows in the small-transfer table", baseSeeks)
+	main.AddNote("shape check: elevator rows cut seeks vs the fifo/fixed baseline (%d) and wall time falls with them (the elevator's merged sweeps shift the request-size histogram right and the latency histogram left); adaptive keeps full fan-out here (large transfer), so its effect shows in the small-transfer table", baseSeeks)
 
 	// Small transfers over loopback TCP: each rank's pieces scatter
 	// across every aggregation domain, so one-aggregator-per-rank pays
@@ -178,7 +193,7 @@ func E18SchedulerCBNodes(sc Scale) []*report.Table {
 	cost.SlowFactor = []float64{4}
 	var gbase time.Duration
 	for _, cfg := range e18Configs() {
-		wallW, wallR, seeks, err := e18Run(n, ranks, servers, stripe, cost, cfg.sched, cfg.cbNodes)
+		wallW, wallR, seeks, _, _, err := e18Run(n, ranks, servers, stripe, cost, cfg.sched, cfg.cbNodes)
 		if err != nil {
 			strag.AddNote("%s: %v", cfg.name, err)
 			continue

@@ -1,0 +1,256 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/cluster"
+	"drxmp/internal/pfs"
+	"drxmp/internal/report"
+)
+
+// E19 — the write-behind collectives-per-flush ablation. Three tables:
+//
+//  1. The multi-round collective write workload (each collective writes
+//     one interleaved chunk-row band, rounds visited in stride order so
+//     immediate dispatch seeks between collectives) under immediate
+//     dispatch, a watermark, and close-only buffering: write-behind
+//     merges the dirty unions of successive collectives into contiguous
+//     extents and flushes them in one vectored elevator-friendly sweep,
+//     so seeks and wall time collapse together.
+//  2. A rounds x sizes grid for immediate vs close-only: the fewer
+//     bytes each collective carries, the more the deferred merge pays.
+//  3. A loopback-TCP wire study of the coherence cost: write-behind
+//     adds one agreement round to collective READS only, so a
+//     write-only epoch crosses the wire with no extra messages.
+
+// e19Cost matches the E18 seek-dominant real-time model: every avoided
+// seek is 2 ms of wall time a server gets back.
+func e19Cost() pfs.CostModel { return e18Cost() }
+
+// e19Config is one write-behind policy cell of the ablation.
+type e19Config struct {
+	name string
+	wb   func(totalBytes int64) int64
+}
+
+func e19Configs() []e19Config {
+	return []e19Config{
+		{"immediate", func(int64) int64 { return 0 }},
+		{"watermark", func(total int64) int64 { return total / 2 }},
+		{"close-only", func(int64) int64 { return -1 }},
+	}
+}
+
+// e19Perm orders the chunk-row rounds with stride 2 (evens then odds),
+// so consecutive collectives never touch adjacent file extents and
+// immediate dispatch pays a seek per server per round.
+func e19Perm(rounds int) []int {
+	var perm []int
+	for t := 0; t < rounds; t += 2 {
+		perm = append(perm, t)
+	}
+	for t := 1; t < rounds; t += 2 {
+		perm = append(perm, t)
+	}
+	return perm
+}
+
+// e19Run executes the multi-round collective write workload: `rows`
+// chunk-rows per collective, every chunk-row of the n x n array written
+// exactly once across the rounds, each rank carrying its column slice.
+// Wall time includes the final Sync (deferred flushes are not free —
+// they are just cheaper). Seeks, total requests, and flush-attributed
+// bytes come from the server accounting.
+func e19Run(n, ranks, servers, rows int, stripe int64, wb func(int64) int64) (
+	wall time.Duration, seeks, reqs, flushBytes int64, sizes pfs.Hist, err error) {
+	const chunk = 32
+	totalBytes := int64(n) * int64(n) * 8
+	err = cluster.Run(ranks, func(c *cluster.Comm) error {
+		f, err := drxmp.Create(c, fmt.Sprintf("e19-%d-%d", rows, wb(totalBytes)), drxmp.Options{
+			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+			FS: pfs.Options{
+				Servers: servers, StripeSize: stripe, Cost: e19Cost(),
+				Scheduler: pfs.Elevator,
+			},
+			CollectiveParallelism: 8,
+			WriteBehindBytes:      wb(totalBytes),
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		f.IO().CollectiveBufferSize = stripe
+
+		q := n / ranks // column slice per rank
+		chunkRows := n / chunk
+		rounds := (chunkRows + rows - 1) / rows
+		perm := e19Perm(rounds)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		start := time.Now()
+		for _, t := range perm {
+			lo := t * rows * chunk
+			hi := lo + rows*chunk
+			if hi > n {
+				hi = n
+			}
+			box := drxmp.NewBox([]int{lo, c.Rank() * q}, []int{hi, (c.Rank() + 1) * q})
+			data := make([]byte, box.Volume()*8)
+			for i := range data {
+				data[i] = byte(c.Rank()*17 + t + i)
+			}
+			if err := f.WriteSectionAll(box, data, drxmp.RowMajor); err != nil {
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			wall = time.Since(start)
+			st := f.FS().Stats()
+			seeks = st.Seeks()
+			reqs = st.Requests()
+			flushBytes = st.FlushBytes()
+			sizes = st.ReqSizes()
+		}
+		return nil
+	})
+	return wall, seeks, reqs, flushBytes, sizes, err
+}
+
+// E19WriteBehind measures write-behind collective buffering against the
+// immediate-dispatch baseline of PR 3.
+func E19WriteBehind(sc Scale) []*report.Table {
+	n := sc.pick(192, 384)
+	const ranks = 4
+	const servers = 8
+	stripe := int64(2 << 10)
+	mib := float64(n) * float64(n) * 8 / (1 << 20)
+
+	main := report.New(fmt.Sprintf(
+		"E19: write-behind ablation on a %d-round interleaved collective write epoch, %dx%d f64, %d real-time servers (2 ms seeks)",
+		n/32, n, n, servers),
+		"config", "wall", "seeks", "reqs", "flush bytes", "MB/s", "speedup")
+	var base time.Duration
+	var baseSeeks int64
+	for _, cfg := range e19Configs() {
+		wall, seeks, reqs, flushBytes, sizes, err := e19Run(n, ranks, servers, 1, stripe, cfg.wb)
+		if err != nil {
+			main.AddNote("%s: %v", cfg.name, err)
+			continue
+		}
+		if cfg.name == "immediate" {
+			base, baseSeeks = wall, seeks
+		}
+		main.AddRow(cfg.name, wall.Round(time.Microsecond), seeks, reqs,
+			report.Bytes(flushBytes),
+			fmt.Sprintf("%.1f", mib*float64(time.Second)/float64(wall)),
+			report.Ratio(float64(base), float64(wall)))
+		main.AddNote("%s request sizes: %s", cfg.name,
+			report.PowHist(sizes.Counts(), report.Bytes))
+	}
+	main.AddNote("shape check: watermark and close-only charge strictly fewer seeks than immediate (%d) — successive dirty unions merge into contiguous extents and flush as one vectored sweep — and wall time falls with them (Sync included)", baseSeeks)
+
+	// Rounds x sizes: thinner collectives (more rounds for the same
+	// bytes) widen the gap; fatter ones narrow it.
+	grid := report.New(fmt.Sprintf(
+		"E19b: rounds x sizes — immediate vs close-only (%d ranks, %d servers)", ranks, servers),
+		"n", "collectives", "immediate", "close-only", "seeks imm/wb", "speedup")
+	for _, gn := range []int{sc.pick(128, 256), sc.pick(192, 384)} {
+		for _, rows := range []int{1, 2} {
+			wallI, seeksI, _, _, _, err := e19Run(gn, ranks, servers, rows, stripe,
+				func(int64) int64 { return 0 })
+			if err != nil {
+				grid.AddNote("n=%d rows=%d immediate: %v", gn, rows, err)
+				continue
+			}
+			wallW, seeksW, _, _, _, err := e19Run(gn, ranks, servers, rows, stripe,
+				func(int64) int64 { return -1 })
+			if err != nil {
+				grid.AddNote("n=%d rows=%d close-only: %v", gn, rows, err)
+				continue
+			}
+			grid.AddRow(gn, (gn/32+rows-1)/rows,
+				wallI.Round(time.Microsecond), wallW.Round(time.Microsecond),
+				fmt.Sprintf("%d/%d", seeksI, seeksW),
+				report.Ratio(float64(wallI), float64(wallW)))
+		}
+	}
+	grid.AddNote("shape check: close-only never seeks more than immediate, and the speedup grows as collectives get thinner")
+
+	// Wire traffic: write-behind's only communication cost is the
+	// read-coherence agreement round; a write-only epoch is free.
+	wire := report.New(fmt.Sprintf(
+		"E19c: wire messages over loopback TCP (%d ranks) — write-behind coherence cost", ranks),
+		"config", "epoch", "wire msgs", "wire bytes")
+	for _, cfg := range []struct {
+		name  string
+		wb    int64
+		reads bool
+	}{
+		{"immediate", 0, false},
+		{"close-only", -1, false},
+		{"immediate", 0, true},
+		{"close-only", -1, true},
+	} {
+		st, err := e19WireRun(ranks, cfg.wb, cfg.reads)
+		if err != nil {
+			wire.AddNote("%s: %v", cfg.name, err)
+			continue
+		}
+		epoch := "write-only"
+		if cfg.reads {
+			epoch = "write+read"
+		}
+		wire.AddRow(cfg.name, epoch, st.Msgs, st.Bytes)
+	}
+	wire.AddNote("shape check: a write-only epoch pays no extra wire traffic for write-behind (the stable cyclic carving can even pair fewer rank-aggregator messages); collective reads add one agreement round each when write-behind is on")
+
+	return []*report.Table{main, grid, wire}
+}
+
+// e19WireRun measures the wire traffic of a small collective epoch over
+// loopback TCP: 4 collective column-slab writes, optionally followed by
+// 4 collective reads, then Sync.
+func e19WireRun(ranks int, wb int64, reads bool) (st cluster.TCPStats, err error) {
+	const n = 128
+	const chunk = 32
+	st, err = cluster.RunTCPStats(ranks, func(c *cluster.Comm) error {
+		f, err := drxmp.Create(c, fmt.Sprintf("e19w-%d-%v", wb, reads), drxmp.Options{
+			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+			FS:               pfs.Options{Servers: 4, StripeSize: 8 << 10},
+			WriteBehindBytes: wb,
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		box := drxmp.NewBox([]int{0, 4 * c.Rank()}, []int{n, 4*c.Rank() + 4})
+		data := make([]byte, box.Volume()*8)
+		for i := range data {
+			data[i] = byte(c.Rank()*13 + i)
+		}
+		for round := 0; round < 4; round++ {
+			if err := f.WriteSectionAll(box, data, drxmp.RowMajor); err != nil {
+				return err
+			}
+		}
+		if reads {
+			buf := make([]byte, box.Volume()*8)
+			for round := 0; round < 4; round++ {
+				if err := f.ReadSectionAll(box, buf, drxmp.RowMajor); err != nil {
+					return err
+				}
+			}
+		}
+		return f.Sync()
+	})
+	return st, err
+}

@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE19ShapeHolds runs the write-behind ablation at Quick scale and
+// asserts its timing-independent shapes: all three tables populate,
+// the buffered policies charge strictly fewer seeks than immediate
+// dispatch on the interleaved multi-round epoch, and E19b's close-only
+// column never seeks more than immediate.
+func TestE19ShapeHolds(t *testing.T) {
+	tables := E19WriteBehind(Quick)
+	if len(tables) != 3 {
+		t.Fatalf("E19 tables = %d, want 3", len(tables))
+	}
+	main, grid, wire := tables[0], tables[1], tables[2]
+	if len(main.Rows) != 3 {
+		t.Fatalf("E19 main rows = %d (notes: %v)", len(main.Rows), main.Notes)
+	}
+	if len(grid.Rows) != 4 {
+		t.Fatalf("E19b rows = %d (notes: %v)", len(grid.Rows), grid.Notes)
+	}
+	if len(wire.Rows) != 4 {
+		t.Fatalf("E19c rows = %d (notes: %v)", len(wire.Rows), wire.Notes)
+	}
+
+	// Main table: seeks column (index 2) — strictly fewer than immediate.
+	seeks := map[string]int64{}
+	for _, row := range main.Rows {
+		seeks[row[0]] = atoi(t, row[2])
+	}
+	for _, cfg := range []string{"watermark", "close-only"} {
+		if seeks[cfg] >= seeks["immediate"] {
+			t.Errorf("%s charged %d seeks, immediate %d — write-behind must seek strictly less",
+				cfg, seeks[cfg], seeks["immediate"])
+		}
+	}
+	// Flush attribution: buffered policies report flush bytes, immediate
+	// reports none.
+	for _, row := range main.Rows {
+		if row[0] == "immediate" && row[4] != "0B" {
+			t.Errorf("immediate attributed flush bytes: %s", row[4])
+		}
+		if row[0] != "immediate" && row[4] == "0B" {
+			t.Errorf("%s attributed no flush bytes", row[0])
+		}
+	}
+
+	out := render(tables)
+	for _, frag := range []string{"immediate", "watermark", "close-only", "request sizes"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("E19 output missing %q", frag)
+		}
+	}
+}
+
+// TestWriteBehindBenchRows pins the E19 rows of the
+// BENCH_collective.json artifact: one per policy, positive throughput,
+// and the buffered policies beating immediate on seeks.
+func TestWriteBehindBenchRows(t *testing.T) {
+	rows, err := WriteBehindBench(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("WriteBehindBench rows = %d, want 3", len(rows))
+	}
+	byName := map[string]CollectiveBenchResult{}
+	for _, r := range rows {
+		if r.MBps <= 0 || r.WriteMS <= 0 {
+			t.Errorf("row %s has non-positive metrics: %+v", r.Config, r)
+		}
+		byName[r.Config] = r
+	}
+	for _, cfg := range []string{"e19/immediate", "e19/watermark", "e19/close-only"} {
+		if _, ok := byName[cfg]; !ok {
+			t.Errorf("missing config %s", cfg)
+		}
+	}
+	if byName["e19/close-only"].Seeks >= byName["e19/immediate"].Seeks {
+		t.Errorf("close-only seeks %d not below immediate %d",
+			byName["e19/close-only"].Seeks, byName["e19/immediate"].Seeks)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"drxmp/internal/par"
 	"drxmp/internal/pfs"
@@ -28,16 +29,29 @@ import (
 // requests into a few streaming ones — exactly the effect experiment E5
 // measures against independent I/O.
 //
-// Inside one collective call, each rank runs its aggregate and exchange
-// stages on up to File.Parallelism workers (internal/par): the capped
-// file requests of the aggregate phase are issued concurrently (they
-// cover disjoint extents, so completion order cannot change the bytes)
-// and the per-peer piece carving/reassembly of the exchange phase runs
-// one worker per peer (disjoint buffers). The communicator collectives
-// — Allgather, the sparse exchange, and the agree round — stay in the
-// same fixed order on every rank, so the parallel path is
-// byte-identical to the serial one and the error-agreement semantics
-// are unchanged.
+// The aggregate phase is vectored: each aggregator issues its capped
+// runs as ONE pfs.ReadV/WriteV call, so every per-server segment of
+// the whole domain is queued up front and the server queues (and the
+// elevator's reorder window) see the full batch without needing wide
+// File.Parallelism. Workers (internal/par, File.Parallelism) still fan
+// out the per-peer piece carving/reassembly of the exchange phase
+// (disjoint buffers). The communicator collectives — Allgather, the
+// sparse exchange, and the agree round — stay in the same fixed order
+// on every rank, so the parallel path is byte-identical to the serial
+// one and the error-agreement semantics are unchanged.
+//
+// With File.WriteBehind enabled, a collective write does not dispatch
+// at all: each aggregator absorbs its coalesced union runs into the
+// file's SHARED dirty-extent cache (writebehind.go — one cache per
+// store, used by every rank's handle), merging with the unions of
+// earlier collectives, and the cache flushes in large vectored sweeps
+// on the watermark, on Sync/Close, or when a read intersects a dirty
+// extent. The collective's global union is punched out of the cache
+// exactly once before the exchange (PunchOnce), so stale data for
+// ranges whose domain ownership moved cannot outlive the collective
+// that rewrote them. Collective reads add one agreement round after
+// the coherence flush so an in-flight flush on one rank lands before
+// any other rank's aggregator starts fetching.
 
 // ReadAllAt is the collective read: every rank of the communicator must
 // call it (ranks with nothing to read pass an empty buf). Each rank
@@ -149,6 +163,49 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 	})
 	myPlaced := placedBy[me]
 
+	// Write-behind coherence against the file's shared dirty-extent
+	// cache. The global union of the collective is the exact byte set
+	// about to move: a write punches it out of the cache exactly once
+	// (PunchOnce — stale data for re-homed ranges is discarded before
+	// any aggregator absorbs its replacement); a read must observe the
+	// deferred bytes, so the intersecting dirty extents are flushed and
+	// the agreement round barriers in-flight flushes before any
+	// aggregator fetches.
+	wb := f.sharedWB()
+	if write && f.WriteBehind != 0 {
+		// Resolve (and on the first buffered collective, create) the
+		// shared cache HERE, before any rank can absorb: creation
+		// mid-collective would let a slow rank observe the cache late
+		// and punch the union after a fast aggregator's absorb.
+		wb = f.wbCache()
+	}
+	var union []pfs.Run
+	if wb != nil {
+		for _, rr := range runsByRank {
+			union = append(union, rr...)
+		}
+		union = pfs.Coalesce(union)
+	}
+	if write {
+		if wb != nil {
+			wb.PunchOnce(size, union)
+		}
+	} else if f.WriteBehind != 0 || wb != nil {
+		// The extra round runs only when a cache is in play, so the
+		// PR 3 wire pattern is untouched otherwise. It is mandatory
+		// whenever a flush can fail here: returning ferr without the
+		// round would strand peers in the exchange. Every rank must
+		// agree on the knob, and cache existence is synchronized by the
+		// collective that created it.
+		var ferr error
+		if wb != nil {
+			ferr = wb.FlushIntersecting(union)
+		}
+		if err := f.agree(ferr); err != nil {
+			return err
+		}
+	}
+
 	if write {
 		// Phase 1: ship my bytes to the owning aggregators, split at
 		// domain boundaries, in my run order (one worker per peer; each
@@ -189,7 +246,7 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 	// and carve out each rank's pieces. Ranks must agree on failure
 	// before the exchange phase: a rank that aborted here would
 	// otherwise leave its peers blocked in Alltoallv forever.
-	span, data, err := f.aggregateRead(dom, placedBy)
+	stage, err := f.aggregateRead(dom, placedBy)
 	if err = f.agree(err); err != nil {
 		return err
 	}
@@ -202,8 +259,7 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 		out := make([]byte, 0, n)
 		for _, p := range placedBy[r] {
 			if p.owner == me {
-				o := p.fileOff - span.Off
-				out = append(out, data[o:o+p.n]...)
+				out = append(out, stage.slice(p.fileOff, p.n)...)
 			}
 		}
 		send[r] = out
@@ -295,14 +351,29 @@ func (f *File) cbNodes(totalBytes int64) int {
 // domains describes the stripe-aligned aggregation domains of one
 // collective operation. Aggregators are ranks 0..n-1 of the
 // communicator; ranks past n own no domain and only exchange data.
+//
+// Two carvings exist. The span carving (cyclic == false, the PR 3
+// behavior) splits the collective's own [lo, hi) span into n
+// contiguous stripe-aligned blocks — best for a single collective, but
+// the boundaries move with every collective's span. The cyclic carving
+// (write-behind mode) assigns byte b to aggregator (b/per) mod n from
+// absolute file offset 0, so the same aggregator owns the same file
+// stripes in EVERY collective: dirty unions absorbed across successive
+// collectives land in the same rank's cache, merge into growing
+// extents, and — because stripe u of a file lands on server u mod S —
+// flush as server-aligned ascending sweeps.
 type domains struct {
-	lo  int64 // aligned start
-	per int64 // bytes per domain (stripe multiple)
-	n   int   // number of aggregators (<= comm size)
+	lo     int64 // aligned start (0 for cyclic)
+	per    int64 // bytes per domain block (stripe multiple)
+	n      int   // number of aggregators (<= comm size)
+	cyclic bool  // file-aligned block-cyclic carving (write-behind)
 }
 
 func (f *File) domains(lo, hi int64, n int) domains {
 	stripe := f.fs.StripeSize()
+	if f.WriteBehind != 0 {
+		return domains{lo: 0, per: stripe, n: n, cyclic: true}
+	}
 	alo := (lo / stripe) * stripe
 	span := hi - alo
 	per := (span + int64(n) - 1) / int64(n)
@@ -320,26 +391,40 @@ type piece struct {
 }
 
 // split cuts a run at domain boundaries, in offset order. Zero-length
-// runs produce no pieces.
+// runs produce no pieces. Adjacent pieces with the same owner merge
+// (under the cyclic carving with one aggregator, every block has the
+// same owner).
 func (d domains) split(run pfs.Run) []piece {
 	var out []piece
 	off, remaining := run.Off, run.Len
 	for remaining > 0 {
-		owner := int((off - d.lo) / d.per)
-		if owner >= d.n {
-			owner = d.n - 1
-		}
+		var owner int
 		var end int64
-		if owner == d.n-1 {
-			end = off + remaining // last domain takes the tail
+		if d.cyclic {
+			blk := off / d.per
+			owner = int(blk % int64(d.n))
+			end = (blk + 1) * d.per
 		} else {
-			end = d.lo + int64(owner+1)*d.per
+			owner = int((off - d.lo) / d.per)
+			if owner >= d.n {
+				owner = d.n - 1
+			}
+			if owner == d.n-1 {
+				end = off + remaining // last domain takes the tail
+			} else {
+				end = d.lo + int64(owner+1)*d.per
+			}
 		}
 		take := end - off
 		if take > remaining {
 			take = remaining
 		}
-		out = append(out, piece{owner: owner, run: pfs.Run{Off: off, Len: take}})
+		if m := len(out) - 1; m >= 0 && out[m].owner == owner &&
+			out[m].run.Off+out[m].run.Len == off {
+			out[m].run.Len += take
+		} else {
+			out = append(out, piece{owner: owner, run: pfs.Run{Off: off, Len: take}})
+		}
 		off += take
 		remaining -= take
 	}
@@ -405,52 +490,72 @@ func capRuns(runs []pfs.Run, cb int64) []pfs.Run {
 	return out
 }
 
-// spanOf returns the contiguous extent covering a sorted run list.
-func spanOf(runs []pfs.Run) pfs.Run {
-	last := runs[len(runs)-1]
-	return pfs.Run{Off: runs[0].Off, Len: last.Off + last.Len - runs[0].Off}
+// staging is an aggregator's phase-1 buffer: the domain's coalesced
+// union runs packed back-to-back, exactly the layout ReadV/WriteV use.
+// It holds precisely the domain's bytes — no span-sized allocation, so
+// the cyclic carving (whose domains interleave across nearly the whole
+// collective span) costs the same memory as the span carving.
+type staging struct {
+	runs  []pfs.Run
+	start []int64 // packed offset of runs[i]
+	data  []byte
+}
+
+func newStaging(runs []pfs.Run) *staging {
+	s := &staging{runs: runs, start: make([]int64, len(runs))}
+	var at int64
+	for i, r := range runs {
+		s.start[i] = at
+		at += r.Len
+	}
+	s.data = make([]byte, at)
+	return s
+}
+
+// slice returns the packed sub-buffer of file range [off, off+n). The
+// range always lies within one run: runs are the maximal contiguous
+// blocks of the union, and every piece is a contiguous subset of it.
+func (s *staging) slice(off, n int64) []byte {
+	i := sort.Search(len(s.runs), func(k int) bool { return s.runs[k].Off > off }) - 1
+	o := s.start[i] + (off - s.runs[i].Off)
+	return s.data[o : o+n]
 }
 
 // aggregateRead performs this rank's phase-1 read: the coalesced union
-// of its domain's requested extents, fetched with requests capped by
-// CollectiveBufferSize and issued across the worker pool (the requests
-// are disjoint, so completion order cannot change the bytes).
-func (f *File) aggregateRead(dom domains, placedBy [][]placed) (pfs.Run, []byte, error) {
+// of its domain's requested extents, capped by CollectiveBufferSize
+// and issued as ONE vectored ReadV — every per-server segment of the
+// domain is queued up front, so service time overlaps across servers
+// and the elevator sees the whole batch without needing workers.
+func (f *File) aggregateRead(dom domains, placedBy [][]placed) (*staging, error) {
 	runs := domainRuns(f.comm.Rank(), placedBy)
 	if len(runs) == 0 {
-		return pfs.Run{}, nil, nil
+		return nil, nil
 	}
-	span := spanOf(runs)
-	data := make([]byte, span.Len)
-	reqs := capRuns(runs, f.CollectiveBufferSize)
-	err := par.Do(f.workers(), len(reqs), func(i int) error {
-		r := reqs[i]
-		o := r.Off - span.Off
-		_, err := f.fs.ReadAt(data[o:o+r.Len], r.Off)
-		return err
-	})
-	if err != nil {
-		return span, nil, err
+	s := newStaging(runs)
+	// Capped runs pack back-to-back in exactly the staging layout (the
+	// cap only splits runs, never reorders or drops bytes).
+	if _, err := f.fs.ReadV(capRuns(runs, f.CollectiveBufferSize), s.data); err != nil {
+		return nil, err
 	}
-	return span, data, nil
+	return s, nil
 }
 
 // aggregateWrite overlays every rank's pieces for this rank's domain
-// onto a staging buffer and writes the coalesced union back with large
-// contiguous requests. Every byte of the union is covered by some
-// rank's piece, so no read-modify-write round is needed and the gaps
-// between runs are never touched. Overlapping writes resolve in rank
-// order (higher rank wins), a deterministic refinement of MPI's
-// "undefined": the overlay walks ranks serially, only the disjoint
-// write-back requests fan out across the worker pool.
+// onto the packed staging buffer, then either absorbs the coalesced
+// union into the shared write-behind cache (WriteBehind enabled —
+// dispatch is deferred to a flush sweep) or writes it back immediately
+// as ONE vectored WriteV of the capped runs. Every byte of the union is covered by
+// some rank's piece, so no read-modify-write round is needed and the
+// gaps between runs are never touched. Overlapping writes resolve in
+// rank order (higher rank wins), a deterministic refinement of MPI's
+// "undefined".
 func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) error {
 	me := f.comm.Rank()
 	runs := domainRuns(me, placedBy)
 	if len(runs) == 0 {
 		return nil
 	}
-	span := spanOf(runs)
-	data := make([]byte, span.Len)
+	s := newStaging(runs)
 	for r, pl := range placedBy {
 		payload := recv[r]
 		var cursor int64
@@ -461,18 +566,26 @@ func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) e
 			if cursor+p.n > int64(len(payload)) {
 				return errors.New("mpiio: collective write overlay underflow")
 			}
-			o := p.fileOff - span.Off
-			copy(data[o:o+p.n], payload[cursor:cursor+p.n])
+			copy(s.slice(p.fileOff, p.n), payload[cursor:cursor+p.n])
 			cursor += p.n
 		}
 	}
-	reqs := capRuns(runs, f.CollectiveBufferSize)
-	return par.Do(f.workers(), len(reqs), func(i int) error {
-		r := reqs[i]
-		o := r.Off - span.Off
-		_, err := f.fs.WriteAt(data[o:o+r.Len], r.Off)
-		return err
-	})
+	if f.WriteBehind != 0 {
+		w := f.wbCache()
+		for i, r := range runs {
+			// The staging buffer is private to this collective, so the
+			// cache may alias its run slices instead of copying.
+			w.Absorb(r.Off, s.data[s.start[i]:s.start[i]+r.Len])
+		}
+		if f.WriteBehind > 0 && w.Bytes() >= f.WriteBehind {
+			return w.FlushAll()
+		}
+		return nil
+	}
+	// The packed staging layout is exactly WriteV's: one vectored call
+	// dispatches every per-server segment of the domain at once.
+	_, err := f.fs.WriteV(capRuns(runs, f.CollectiveBufferSize), s.data)
+	return err
 }
 
 // --- run wire encoding (fixed 16 bytes per run) ---

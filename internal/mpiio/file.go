@@ -38,18 +38,136 @@ type File struct {
 	CBNodes int
 
 	// Parallelism bounds the worker goroutines this rank uses inside a
-	// collective call: the aggregate-phase file requests and the
-	// exchange-phase piece carving/reassembly run on up to this many
-	// workers (internal/par semantics: 0 selects GOMAXPROCS, negative
-	// forces the serial path, values above GOMAXPROCS are honored — the
-	// workers overlap I/O service time across striped servers, not
-	// CPU). The parallel and serial paths are byte-identical: workers
-	// only ever touch disjoint extents, and merge order is fixed.
+	// collective call: the exchange-phase piece carving/reassembly runs
+	// one worker per peer on up to this many workers (internal/par
+	// semantics: 0 selects GOMAXPROCS, negative forces the serial path,
+	// values above GOMAXPROCS are honored). The aggregate phase no
+	// longer needs workers at all — each aggregator issues its capped
+	// runs as one vectored ReadV/WriteV, so the per-server queues see
+	// the full batch regardless of this knob. The parallel and serial
+	// paths are byte-identical: workers only ever touch disjoint
+	// extents, and merge order is fixed.
 	Parallelism int
+
+	// WriteBehind selects the write-behind policy for collective
+	// writes (the dirty-extent cache of writebehind.go): 0 (the
+	// default) dispatches each collective's union runs immediately;
+	// > 0 buffers dirty unions across collectives and flushes the
+	// whole cache once that many bytes are buffered (the watermark);
+	// < 0 buffers without bound, flushing only on Sync, Close, or read
+	// coherence. The cache is shared by every handle on the same store
+	// (the watermark is on the file's total buffered bytes), so reads
+	// through ANY handle observe the deferred bytes — intersecting
+	// dirty extents are flushed first. Every rank of a communicator
+	// must use the same enabled/disabled state (collective reads
+	// insert one coherence round when enabled). Concurrent unsynced
+	// access to overlapping ranges keeps MPI's usual semantics:
+	// undefined without a Sync/barrier between the conflicting
+	// operations.
+	WriteBehind int64
+
+	wb *writeBehind // resolved shared dirty-extent cache (lazy)
 }
 
 // workers resolves the collective parallelism knob.
 func (f *File) workers() int { return par.Resolve(f.Parallelism) }
+
+// wbCache returns the file's shared dirty-extent cache, creating it
+// (and registering its flush with the store's Close) on first use.
+// Every handle on the same store resolves to the same cache.
+func (f *File) wbCache() *writeBehind {
+	if f.wb == nil {
+		f.wb = sharedWBCache(f.fs)
+	}
+	return f.wb
+}
+
+// sharedWB returns the file's shared cache without creating one — the
+// coherence hooks use it, so a handle that never wrote still observes
+// the deferred bytes of the handles that did.
+func (f *File) sharedWB() *writeBehind {
+	if f.wb == nil {
+		f.wb = lookupWBCache(f.fs)
+	}
+	return f.wb
+}
+
+// Sync flushes every buffered write-behind extent of the file — all
+// ranks' deferred collective writes share one cache — to the file
+// system as one vectored flush sweep (MPI_File_sync). A file with
+// nothing buffered is a no-op.
+func (f *File) Sync() error {
+	if w := f.sharedWB(); w != nil {
+		return w.FlushAll()
+	}
+	return nil
+}
+
+// SyncAll is the collective Sync: flush, then one agreement round
+// (which doubles as a barrier), so every rank returns only after all
+// deferred bytes are on the servers and any rank's flush failure
+// surfaces everywhere. Every rank must call it.
+func (f *File) SyncAll() error {
+	return f.agree(f.Sync())
+}
+
+// Dirty returns the bytes currently buffered by the file's shared
+// write-behind cache.
+func (f *File) Dirty() int64 {
+	if w := f.sharedWB(); w != nil {
+		return w.Bytes()
+	}
+	return 0
+}
+
+// WriteBehindStats returns cumulative write-behind accounting for the
+// file: bytes absorbed by the cache and flush sweeps issued.
+func (f *File) WriteBehindStats() (absorbed, flushes int64) {
+	if w := f.sharedWB(); w != nil {
+		return w.Stats()
+	}
+	return 0, 0
+}
+
+// Coherent applies the write-behind coherence rule to a run list this
+// rank is about to transfer directly against the store: a read flushes
+// the dirty extents it intersects (so it observes every handle's
+// deferred bytes — the cache is shared), a write punches the runs out
+// of the cache (so a later flush cannot clobber the newer file bytes).
+// No-op without a cache.
+func (f *File) Coherent(runs []pfs.Run, write bool) error {
+	w := f.sharedWB()
+	if w == nil {
+		return nil
+	}
+	if write {
+		for _, r := range runs {
+			w.Punch(r.Off, r.Len)
+		}
+		return nil
+	}
+	return w.FlushIntersecting(runs)
+}
+
+// ReadV reads the coalesced runs into buf (packed back-to-back) with
+// read coherence against the write-behind cache.
+func (f *File) ReadV(runs []pfs.Run, buf []byte) error {
+	if err := f.Coherent(runs, false); err != nil {
+		return err
+	}
+	_, err := f.fs.ReadV(runs, buf)
+	return err
+}
+
+// WriteV writes the coalesced runs from buf (packed back-to-back),
+// punching the runs out of the write-behind cache first.
+func (f *File) WriteV(runs []pfs.Run, buf []byte) error {
+	if err := f.Coherent(runs, true); err != nil {
+		return err
+	}
+	_, err := f.fs.WriteV(runs, buf)
+	return err
+}
 
 // Open returns a handle on fs for this process. It is collective only
 // by convention (no synchronization is needed to open).
@@ -124,9 +242,7 @@ func (f *File) ReadAt(buf []byte, viewOff int64) error {
 	if len(buf) == 0 {
 		return nil
 	}
-	runs := f.runsFor(viewOff, int64(len(buf)))
-	_, err := f.fs.ReadV(runs, buf)
-	return err
+	return f.ReadV(f.runsFor(viewOff, int64(len(buf))), buf)
 }
 
 // WriteAt writes len(buf) view bytes at view offset viewOff
@@ -138,9 +254,7 @@ func (f *File) WriteAt(buf []byte, viewOff int64) error {
 	if len(buf) == 0 {
 		return nil
 	}
-	runs := f.runsFor(viewOff, int64(len(buf)))
-	_, err := f.fs.WriteV(runs, buf)
-	return err
+	return f.WriteV(f.runsFor(viewOff, int64(len(buf))), buf)
 }
 
 // Read reads from the individual file pointer and advances it.

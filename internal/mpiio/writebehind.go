@@ -1,0 +1,329 @@
+package mpiio
+
+import (
+	"sort"
+	"sync"
+
+	"drxmp/internal/pfs"
+)
+
+// Write-behind collective buffering: instead of dispatching each
+// aggregator's coalesced union runs to the file system at the end of
+// every collective write, the runs (and their staged bytes) are
+// absorbed into a per-handle dirty-extent cache and flushed later in
+// large, contiguous, vectored sweeps — the data-sieving/write-behind
+// discipline real MPI-IO stacks use to amortize the two-phase round
+// trip across collectives.
+//
+// Invariants and coherence:
+//
+//   - The cache is SHARED by every handle opened on the same pfs.FS
+//     (one cache per file, like ROMIO's per-file collective buffer):
+//     aggregators on every rank absorb into it, and any rank's read or
+//     write hook observes every rank's deferred bytes. A byte is
+//     therefore never dirty in two places and flush order can never
+//     matter.
+//   - Extents are sorted, non-overlapping, and non-adjacent; absorbing
+//     a run that overlaps or touches existing extents merges them,
+//     last writer wins on overlap.
+//   - Every collective write punches its global union out of the cache
+//     exactly once (PunchOnce, keyed by the collective's sequence
+//     number) before any aggregator absorbs the new bytes — stale
+//     dirty data for re-homed ranges (the adaptive aggregator count
+//     can move domain ownership between collectives) can never outlive
+//     the collective that overwrote it.
+//   - Reads flush intersecting dirty extents before touching the file
+//     (the coherence hooks in File.ReadAt / File.collective), so reads
+//     through ANY handle observe all deferred writes; collective reads
+//     add one agreement round so an in-flight flush on one rank lands
+//     before another rank's aggregator fetches.
+//   - Flushes go out as one vectored pfs.FlushV call, so the server
+//     queues see the whole sweep at once and the elevator can merge it
+//     into long streamed services; FlushV attributes the traffic to
+//     ServerStats.FlushWrites/FlushBytes.
+
+// extent is one dirty byte range and its buffered data
+// (len(data) == length of the range).
+type extent struct {
+	off  int64
+	data []byte
+}
+
+func (e extent) end() int64 { return e.off + int64(len(e.data)) }
+
+// writeBehind is the shared per-file dirty-extent cache. All methods
+// are safe for concurrent use (every rank's handle, and the
+// close-flusher the cache registers with the pfs store, share it).
+//
+// flushMu serializes flush operations END TO END: a flush removes the
+// extents it will write from the cache and only then dispatches, so
+// without the mutex a concurrent reader's coherence check could land
+// in the window where the bytes are in neither the cache nor the
+// store. Holding flushMu across removal + FlushV makes the competing
+// FlushIntersecting (every read's coherence hook) block until the
+// in-flight sweep is durable.
+type writeBehind struct {
+	fs *pfs.FS
+
+	flushMu sync.Mutex // serializes flush sweeps (see above)
+
+	mu       sync.Mutex
+	ext      []extent // sorted by off, pairwise disjoint and non-adjacent
+	dirty    int64    // total buffered bytes
+	arrivals int      // ranks arrived at PunchOnce in this collective
+
+	// Cumulative accounting for benchmarks (never reset).
+	absorbed int64 // bytes absorbed across all collectives
+	flushes  int64 // flush sweeps issued
+}
+
+func newWriteBehind(fs *pfs.FS) *writeBehind {
+	return &writeBehind{fs: fs}
+}
+
+// wbAuxKey is the cache's slot in the store's Aux map — per-store
+// state, so the cache's lifetime is exactly the store's.
+const wbAuxKey = "mpiio.writebehind"
+
+// sharedWBCache returns the store's shared cache, creating it (and
+// registering its flush-before-drain hook with FS.Close) on first use.
+func sharedWBCache(fs *pfs.FS) *writeBehind {
+	return fs.Aux(wbAuxKey, func() any {
+		w := newWriteBehind(fs)
+		// The ordering guarantee on FS.Close: the cache drains through
+		// the still-open queues before Close drains them.
+		fs.AddCloseFlusher(w.FlushAll)
+		return w
+	}).(*writeBehind)
+}
+
+// lookupWBCache returns the store's shared cache without creating one.
+func lookupWBCache(fs *pfs.FS) *writeBehind {
+	if v := fs.AuxLookup(wbAuxKey); v != nil {
+		return v.(*writeBehind)
+	}
+	return nil
+}
+
+// Bytes returns the currently buffered dirty bytes.
+func (w *writeBehind) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dirty
+}
+
+// Stats returns cumulative (absorbed bytes, flush sweeps issued).
+func (w *writeBehind) Stats() (absorbed int64, flushes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.absorbed, w.flushes
+}
+
+// Absorb merges the dirty run [off, off+len(p)) into the cache,
+// last-writer-wins where it overlaps existing extents. The cache may
+// alias p (callers hand over staging buffers they will not reuse).
+func (w *writeBehind) Absorb(off int64, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.absorbed += int64(len(p))
+	end := off + int64(len(p))
+	// [i, j) is the range of extents overlapping or adjacent to the run.
+	i := sort.Search(len(w.ext), func(k int) bool { return w.ext[k].end() >= off })
+	j := i
+	for j < len(w.ext) && w.ext[j].off <= end {
+		j++
+	}
+	if i == j {
+		// Disjoint, non-adjacent: plain insert.
+		w.ext = append(w.ext, extent{})
+		copy(w.ext[i+1:], w.ext[i:])
+		w.ext[i] = extent{off: off, data: p}
+		w.dirty += int64(len(p))
+		return
+	}
+	lo, hi := off, end
+	if w.ext[i].off < lo {
+		lo = w.ext[i].off
+	}
+	if e := w.ext[j-1].end(); e > hi {
+		hi = e
+	}
+	merged := make([]byte, hi-lo)
+	var old int64
+	for _, e := range w.ext[i:j] {
+		copy(merged[e.off-lo:], e.data)
+		old += int64(len(e.data))
+	}
+	copy(merged[off-lo:], p) // new data last: last writer wins
+	w.ext = append(w.ext[:i], append([]extent{{off: lo, data: merged}}, w.ext[j:]...)...)
+	w.dirty += int64(len(merged)) - old
+}
+
+// PunchOnce punches every run of a collective write's global union,
+// exactly once per collective: every rank calls it (in lockstep
+// program order, before its exchange phase) with the communicator
+// size, the FIRST arrival executes the punch, and later arrivals —
+// which may already have raced past other ranks' absorbs — are
+// no-ops; the nranks-th arrival resets the counter for the next
+// collective. Arrival counting needs no per-handle state, so handles
+// opened at different times on the same store stay correct. It relies
+// on collectives being serialized per file (every rank leaves
+// collective k through its agreement round before any enters k+1), so
+// arrivals of different collectives never interleave. The guard and
+// the punches form ONE critical section: a skipped rank may proceed
+// straight to its absorb, and the executed punch must be complete —
+// not in flight — by then, or it would destroy freshly absorbed
+// bytes.
+func (w *writeBehind) PunchOnce(nranks int, runs []pfs.Run) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.arrivals == 0 {
+		for _, r := range runs {
+			w.punchLocked(r.Off, r.Len)
+		}
+	}
+	w.arrivals++
+	if w.arrivals >= nranks {
+		w.arrivals = 0
+	}
+}
+
+// Punch discards dirty bytes in [off, off+n): extents fully inside are
+// dropped, extents straddling a boundary are trimmed or split. Used by
+// collective writes (PunchOnce: the global union is about to be
+// re-absorbed by its owning aggregators) and independent writes (the
+// file copy is about to become newer than the cache).
+func (w *writeBehind) Punch(off, n int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.punchLocked(off, n)
+}
+
+func (w *writeBehind) punchLocked(off, n int64) {
+	if n <= 0 {
+		return
+	}
+	end := off + n
+	var out []extent
+	for _, e := range w.ext {
+		if e.end() <= off || e.off >= end {
+			out = append(out, e)
+			continue
+		}
+		w.dirty -= int64(len(e.data))
+		if e.off < off { // keep the left remainder
+			left := extent{off: e.off, data: e.data[:off-e.off]}
+			w.dirty += int64(len(left.data))
+			out = append(out, left)
+		}
+		if e.end() > end { // keep the right remainder
+			right := extent{off: end, data: e.data[end-e.off:]}
+			w.dirty += int64(len(right.data))
+			out = append(out, right)
+		}
+	}
+	w.ext = out
+}
+
+// Intersects reports whether any dirty extent overlaps any of runs.
+func (w *writeBehind) Intersects(runs []pfs.Run) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.pick(runs)) > 0
+}
+
+// pick returns the indices of extents overlapping any of runs, by a
+// two-pointer merge over the two sorted lists (runs arrive sorted and
+// coalesced from pfs.Coalesce / runsFor). Must be called with w.mu
+// held.
+func (w *writeBehind) pick(runs []pfs.Run) []int {
+	var idx []int
+	j := 0
+	for i, e := range w.ext {
+		for j < len(runs) && runs[j].Off+runs[j].Len <= e.off {
+			j++
+		}
+		if j < len(runs) && runs[j].Off < e.end() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// FlushAll writes every dirty extent back as one vectored flush sweep
+// and empties the cache. A clean cache is a no-op.
+func (w *writeBehind) FlushAll() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	ext := w.ext
+	w.ext = nil
+	w.dirty = 0
+	if len(ext) > 0 {
+		w.flushes++
+	}
+	w.mu.Unlock()
+	return w.flushExtents(ext)
+}
+
+// FlushIntersecting writes back (and drops) exactly the dirty extents
+// that overlap any of runs — the read-coherence sweep. Extents outside
+// the queried ranges stay buffered. Holding flushMu for the whole
+// sweep means a reader whose coherence check races another flush
+// blocks until that flush's bytes are durable, instead of reading the
+// store in the removed-but-not-yet-written window.
+func (w *writeBehind) FlushIntersecting(runs []pfs.Run) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	idx := w.pick(runs)
+	if len(idx) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	flush := make([]extent, 0, len(idx))
+	var keep []extent
+	next := 0
+	for i, e := range w.ext {
+		if next < len(idx) && idx[next] == i {
+			flush = append(flush, e)
+			w.dirty -= int64(len(e.data))
+			next++
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	w.ext = keep
+	w.flushes++
+	w.mu.Unlock()
+	return w.flushExtents(flush)
+}
+
+// flushExtents issues one vectored FlushV covering the given extents.
+func (w *writeBehind) flushExtents(ext []extent) error {
+	if len(ext) == 0 {
+		return nil
+	}
+	runs := make([]pfs.Run, len(ext))
+	var total int64
+	for i, e := range ext {
+		runs[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
+		total += int64(len(e.data))
+	}
+	var buf []byte
+	if len(ext) == 1 {
+		buf = ext[0].data // single extent: no packing copy needed
+	} else {
+		buf = make([]byte, total)
+		var at int64
+		for _, e := range ext {
+			copy(buf[at:], e.data)
+			at += int64(len(e.data))
+		}
+	}
+	_, err := w.fs.FlushV(runs, buf)
+	return err
+}

@@ -1,0 +1,356 @@
+package mpiio
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"drxmp/internal/cluster"
+	"drxmp/internal/pfs"
+)
+
+func wbCacheForTest(t *testing.T) (*pfs.FS, *writeBehind) {
+	t.Helper()
+	fs, err := pfs.Create("wb", pfs.Options{Servers: 2, StripeSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs, newWriteBehind(fs)
+}
+
+func fill(n int, v byte) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = v
+	}
+	return p
+}
+
+// TestWriteBehindAbsorbMerges: overlapping and adjacent absorbs merge
+// into single extents, last writer winning on overlap.
+func TestWriteBehindAbsorbMerges(t *testing.T) {
+	_, w := wbCacheForTest(t)
+	w.Absorb(100, fill(50, 1)) // [100,150)
+	w.Absorb(200, fill(50, 2)) // [200,250)
+	w.Absorb(150, fill(50, 3)) // adjacent to both: merges all three
+	if len(w.ext) != 1 {
+		t.Fatalf("extents = %d, want 1 (merged)", len(w.ext))
+	}
+	if w.ext[0].off != 100 || len(w.ext[0].data) != 150 {
+		t.Fatalf("merged extent = [%d, +%d), want [100, +150)", w.ext[0].off, len(w.ext[0].data))
+	}
+	if w.Bytes() != 150 {
+		t.Fatalf("dirty = %d, want 150", w.Bytes())
+	}
+	// Last writer wins on overlap.
+	w.Absorb(120, fill(10, 9))
+	if w.Bytes() != 150 {
+		t.Fatalf("overlap changed dirty total: %d", w.Bytes())
+	}
+	// d[i] is byte 100+i: [100,120)=1, [120,130)=9, [130,150)=1,
+	// [150,200)=3, [200,250)=2.
+	d := w.ext[0].data
+	for i, want := range map[int]byte{0: 1, 19: 1, 20: 9, 29: 9, 30: 1, 50: 3, 110: 2} {
+		if d[i] != want {
+			t.Errorf("byte %d = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+// TestWriteBehindPunch: punching drops covered bytes and splits
+// straddled extents.
+func TestWriteBehindPunch(t *testing.T) {
+	_, w := wbCacheForTest(t)
+	w.Absorb(0, fill(100, 5))
+	w.Punch(40, 20) // split into [0,40) and [60,100)
+	if len(w.ext) != 2 || w.Bytes() != 80 {
+		t.Fatalf("after split: %d extents, %d dirty; want 2, 80", len(w.ext), w.Bytes())
+	}
+	if w.ext[0].off != 0 || len(w.ext[0].data) != 40 || w.ext[1].off != 60 || len(w.ext[1].data) != 40 {
+		t.Fatalf("split extents = %+v", w.ext)
+	}
+	w.Punch(0, 1000) // drop everything
+	if len(w.ext) != 0 || w.Bytes() != 0 {
+		t.Fatalf("after full punch: %d extents, %d dirty", len(w.ext), w.Bytes())
+	}
+	w.Punch(0, 10) // empty cache: no-op
+}
+
+// TestWriteBehindFlushIntersecting: only extents overlapping the query
+// are flushed; the rest stay buffered; the flushed bytes are on the
+// store and attributed as flush traffic.
+func TestWriteBehindFlushIntersecting(t *testing.T) {
+	fs, w := wbCacheForTest(t)
+	w.Absorb(0, fill(64, 1))
+	w.Absorb(1000, fill(64, 2))
+	w.Absorb(5000, fill(64, 3))
+	if err := w.FlushIntersecting([]pfs.Run{{Off: 1020, Len: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != 128 {
+		t.Fatalf("dirty after partial flush = %d, want 128", w.Bytes())
+	}
+	back := make([]byte, 64)
+	if _, err := fs.ReadAt(back, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, fill(64, 2)) {
+		t.Fatal("intersecting extent not flushed to store")
+	}
+	if _, err := fs.ReadAt(back, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(back, fill(64, 1)) {
+		t.Fatal("non-intersecting extent leaked to store")
+	}
+	if fs.Stats().FlushBytes() != 64 {
+		t.Fatalf("FlushBytes = %d, want 64", fs.Stats().FlushBytes())
+	}
+	if err := w.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes() != 0 {
+		t.Fatal("FlushAll left dirty bytes")
+	}
+	if fs.Stats().FlushBytes() != 192 {
+		t.Fatalf("FlushBytes after FlushAll = %d, want 192", fs.Stats().FlushBytes())
+	}
+	if ab, fl := w.Stats(); ab != 192 || fl != 2 {
+		t.Fatalf("cache stats = (%d absorbed, %d flushes), want (192, 2)", ab, fl)
+	}
+}
+
+// TestCollectiveWriteBehindDefersAndStaysCoherent: with close-only
+// write-behind, a collective write leaves the store untouched (zero
+// write requests), but collective reads, this rank's independent
+// reads, and post-Sync store contents all observe the written bytes.
+func TestCollectiveWriteBehindDefersAndStaysCoherent(t *testing.T) {
+	const ranks = 4
+	fs, err := pfs.Create("wbcoll", pfs.Options{Servers: 2, StripeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	want := make([]byte, ranks*512)
+	err = cluster.Run(ranks, func(c *cluster.Comm) error {
+		f := Open(c, fs)
+		f.WriteBehind = -1 // close-only
+		if err := f.SetView(int64(c.Rank())*512, MustBytes(1<<20)); err != nil {
+			return err
+		}
+		data := make([]byte, 512)
+		for i := range data {
+			data[i] = byte(c.Rank()*31 + i)
+			want[c.Rank()*512+i] = data[i]
+		}
+		if err := f.WriteAllAt(data, 0); err != nil {
+			return err
+		}
+		if c.Rank() == 0 && fs.Stats().Requests() != 0 {
+			return fmt.Errorf("collective write dispatched %d requests under write-behind", fs.Stats().Requests())
+		}
+		// Collective read: coherent across ranks (flush + agree round).
+		buf := make([]byte, 512)
+		if err := f.ReadAllAt(buf, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(buf, data) {
+			return fmt.Errorf("rank %d: collective read incoherent under write-behind", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	if _, err := fs.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("store contents wrong after coherence flushes")
+	}
+}
+
+// TestWriteBehindWatermark: crossing the watermark flushes the whole
+// cache in one sweep; below it nothing dispatches.
+func TestWriteBehindWatermark(t *testing.T) {
+	fs, err := pfs.Create("wbmark", pfs.Options{Servers: 1, StripeSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	err = cluster.Run(1, func(c *cluster.Comm) error {
+		f := Open(c, fs)
+		f.WriteBehind = 1024
+		data := fill(512, 7)
+		if err := f.WriteAllAt(data, 0); err != nil {
+			return err
+		}
+		if f.Dirty() != 512 {
+			return fmt.Errorf("dirty = %d, want 512 (below watermark)", f.Dirty())
+		}
+		if err := f.WriteAllAt(data, 512); err != nil {
+			return err
+		}
+		if f.Dirty() != 0 {
+			return fmt.Errorf("dirty = %d after watermark crossing, want 0", f.Dirty())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := fs.Stats()
+	if st.FlushBytes() != 1024 {
+		t.Fatalf("FlushBytes = %d, want 1024", st.FlushBytes())
+	}
+	if st.Bytes() != 1024 {
+		t.Fatalf("bytes moved = %d, want 1024", st.Bytes())
+	}
+}
+
+// TestWriteBehindIndependentWritePunches: an independent write through
+// the same handle overrides overlapping dirty bytes — the cache punch
+// keeps a later flush from resurrecting stale data.
+func TestWriteBehindIndependentWritePunches(t *testing.T) {
+	fs, err := pfs.Create("wbpunch", pfs.Options{Servers: 1, StripeSize: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	err = cluster.Run(1, func(c *cluster.Comm) error {
+		f := Open(c, fs)
+		f.WriteBehind = -1
+		if err := f.WriteAllAt(fill(256, 1), 0); err != nil { // buffered
+			return err
+		}
+		if err := f.WriteAt(fill(64, 9), 64); err != nil { // direct, newer
+			return err
+		}
+		if err := f.Sync(); err != nil { // stale flush must not clobber
+			return err
+		}
+		got := make([]byte, 256)
+		if err := f.ReadAt(got, 0); err != nil {
+			return err
+		}
+		for i := 0; i < 256; i++ {
+			want := byte(1)
+			if i >= 64 && i < 128 {
+				want = 9
+			}
+			if got[i] != want {
+				return fmt.Errorf("byte %d = %d, want %d", i, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBehindCrossRankReadCoherence pins the shared-cache fix: a
+// rank's INDEPENDENT read (no Sync anywhere) observes bytes another
+// rank's aggregator absorbed — under the cyclic carving a rank's
+// collective write usually lands in other ranks' domains, so local-only
+// coherence would return stale zeros here.
+func TestWriteBehindCrossRankReadCoherence(t *testing.T) {
+	const ranks = 4
+	fs, err := pfs.Create("wbxrank", pfs.Options{Servers: 2, StripeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	err = cluster.Run(ranks, func(c *cluster.Comm) error {
+		f := Open(c, fs)
+		f.WriteBehind = -1
+		if err := f.SetView(int64(c.Rank())*512, MustBytes(1<<20)); err != nil {
+			return err
+		}
+		data := make([]byte, 512)
+		for i := range data {
+			data[i] = byte(c.Rank()*41 + i)
+		}
+		if err := f.WriteAllAt(data, 0); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Independent read of MY region, which was absorbed by OTHER
+		// ranks' aggregators. No Sync: the shared cache must serve it.
+		got := make([]byte, 512)
+		if err := f.ReadAt(got, 0); err != nil {
+			return err
+		}
+		if !bytes.Equal(got, data) {
+			return fmt.Errorf("rank %d: independent read missed deferred bytes", c.Rank())
+		}
+		return c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteBehindCrossRankLostUpdate pins the shared-cache punch: an
+// independent write newer than a buffered collective write must
+// survive a later flush even when the stale bytes sit in ANOTHER
+// rank's absorbed extents.
+func TestWriteBehindCrossRankLostUpdate(t *testing.T) {
+	const ranks = 2
+	fs, err := pfs.Create("wblost", pfs.Options{Servers: 2, StripeSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	err = cluster.Run(ranks, func(c *cluster.Comm) error {
+		f := Open(c, fs)
+		f.WriteBehind = -1
+		if err := f.SetView(int64(c.Rank())*512, MustBytes(1<<20)); err != nil {
+			return err
+		}
+		if err := f.WriteAllAt(fill(512, byte(1+c.Rank())), 0); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		// Rank 1 independently overwrites part of ITS region (whose
+		// dirty bytes another rank absorbed), then everyone syncs: the
+		// newer bytes must win.
+		if c.Rank() == 1 {
+			if err := f.WriteAt(fill(64, 99), 100); err != nil {
+				return err
+			}
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		got := make([]byte, 512)
+		if err := f.ReadAt(got, 0); err != nil {
+			return err
+		}
+		for i := range got {
+			want := byte(1 + c.Rank())
+			if c.Rank() == 1 && i >= 100 && i < 164 {
+				want = 99
+			}
+			if got[i] != want {
+				return fmt.Errorf("rank %d: byte %d = %d, want %d (lost update)", c.Rank(), i, got[i], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package pfs
+
+import "math/bits"
+
+// HistBuckets is the bucket count of Hist. Bucket i counts observations
+// v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1); the last bucket
+// absorbs everything larger. 40 buckets cover every request size and
+// service latency the simulator can produce.
+const HistBuckets = 40
+
+// Hist is a fixed power-of-two bucket histogram, the request-level
+// accounting behind the E18/E19 report tables. It is a plain value:
+// copy, add, and subtract like the counters in ServerStats.
+type Hist struct {
+	N [HistBuckets]int64
+}
+
+// Observe counts one observation (non-positive values land in bucket 0).
+func (h *Hist) Observe(v int64) {
+	b := 0
+	if v > 1 {
+		b = bits.Len64(uint64(v - 1))
+	}
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	h.N[b]++
+}
+
+// Total returns the observation count.
+func (h Hist) Total() int64 {
+	var n int64
+	for _, c := range h.N {
+		n += c
+	}
+	return n
+}
+
+// Counts returns the bucket counts; bucket i has upper bound 2^i.
+func (h Hist) Counts() []int64 {
+	out := make([]int64, HistBuckets)
+	copy(out, h.N[:])
+	return out
+}
+
+// Merge adds o's counts into h (aggregation across servers).
+func (h *Hist) Merge(o Hist) {
+	for i := range h.N {
+		h.N[i] += o.N[i]
+	}
+}
+
+// Sub returns h - o bucket-wise (phase measurement, like Stats.Sub).
+func (h Hist) Sub(o Hist) Hist {
+	for i := range h.N {
+		h.N[i] -= o.N[i]
+	}
+	return h
+}

@@ -109,6 +109,16 @@ type Options struct {
 	Cost CostModel
 	// Scheduler selects the per-server queue discipline (default FIFO).
 	Scheduler Scheduler
+	// WindowSize bounds the elevator's reorder window: the maximum
+	// number of pending requests frozen into one C-SCAN sweep. 0 (the
+	// default) auto-scales with queue depth — each sweep freezes
+	// whatever backlog is queued when it starts, so shallow queues pay
+	// no reordering delay and deep queues merge aggressively. Positive
+	// values fix the window (32 was the pre-knob hard-coded value).
+	// Either way the window is frozen before the sweep, which bounds
+	// how long any request can be bypassed (no starvation). Ignored
+	// under FIFO.
+	WindowSize int
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +140,17 @@ type ServerStats struct {
 	Seeks        int64
 	// Busy is the accumulated simulated service time.
 	Busy time.Duration
+	// FlushWrites counts the write services that carried write-behind
+	// flush-sweep bytes, and FlushBytes the bytes themselves — the
+	// attribution that lets the E19 tables split ordinary dispatch from
+	// deferred flush traffic.
+	FlushWrites int64
+	FlushBytes  int64
+	// ReqSize is the per-request transfer-size histogram and SvcTime
+	// the per-request service-latency histogram (microseconds), both in
+	// power-of-two buckets (see Hist).
+	ReqSize Hist
+	SvcTime Hist
 }
 
 // Stats aggregates server accounting. Elapsed is the simulated parallel
@@ -186,6 +207,43 @@ func (s Stats) BusySum() time.Duration {
 	return m
 }
 
+// FlushWrites returns total flush-sweep write services across servers.
+func (s Stats) FlushWrites() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.FlushWrites
+	}
+	return n
+}
+
+// FlushBytes returns total flush-sweep bytes across servers.
+func (s Stats) FlushBytes() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.FlushBytes
+	}
+	return n
+}
+
+// ReqSizes returns the request-size histogram merged across servers.
+func (s Stats) ReqSizes() Hist {
+	var h Hist
+	for _, ps := range s.PerServer {
+		h.Merge(ps.ReqSize)
+	}
+	return h
+}
+
+// SvcTimes returns the service-latency histogram (microseconds) merged
+// across servers.
+func (s Stats) SvcTimes() Hist {
+	var h Hist
+	for _, ps := range s.PerServer {
+		h.Merge(ps.SvcTime)
+	}
+	return h
+}
+
 // Sub returns s - t field-wise (for phase measurement).
 func (s Stats) Sub(t Stats) Stats {
 	out := Stats{PerServer: make([]ServerStats, len(s.PerServer))}
@@ -201,6 +259,10 @@ func (s Stats) Sub(t Stats) Stats {
 			BytesWritten: a.BytesWritten - b.BytesWritten,
 			Seeks:        a.Seeks - b.Seeks,
 			Busy:         a.Busy - b.Busy,
+			FlushWrites:  a.FlushWrites - b.FlushWrites,
+			FlushBytes:   a.FlushBytes - b.FlushBytes,
+			ReqSize:      a.ReqSize.Sub(b.ReqSize),
+			SvcTime:      a.SvcTime.Sub(b.SvcTime),
 		}
 	}
 	return out
@@ -216,13 +278,14 @@ type server struct {
 	stats   ServerStats
 	cost    CostModel
 	sched   Scheduler
+	window  int     // elevator reorder window (0 = auto-scale with backlog)
 	slow    float64 // per-server bandwidth-asymmetry factor (>= 1 normally)
 }
 
 // newServer builds server i with its cost model, queue discipline, and
 // resolved straggler factor.
 func newServer(i int, opts Options) *server {
-	sv := &server{cost: opts.Cost, sched: opts.Scheduler, slow: 1}
+	sv := &server{cost: opts.Cost, sched: opts.Scheduler, window: opts.WindowSize, slow: 1}
 	if i < len(opts.Cost.SlowFactor) && opts.Cost.SlowFactor[i] > 0 {
 		sv.slow = opts.Cost.SlowFactor[i]
 	}
@@ -253,8 +316,17 @@ func (sv *server) charge(n int64, off int64, write bool) time.Duration {
 		d = time.Duration(float64(d) * sv.slow)
 	}
 	sv.stats.Busy += d
+	sv.stats.ReqSize.Observe(n)
+	sv.stats.SvcTime.Observe(int64(d / time.Microsecond))
 	sv.lastEnd = off + n
 	return d
+}
+
+// attrFlush attributes n flush-sweep bytes to one write service. Must
+// be called with sv.mu held, after the service's charge.
+func (sv *server) attrFlush(n int64) {
+	sv.stats.FlushWrites++
+	sv.stats.FlushBytes += n
 }
 
 // storeLocked moves p into the backend at off and grows the per-server
@@ -303,10 +375,13 @@ func (sv *server) loadLocked(p []byte, off int64) error {
 	return nil
 }
 
-func (sv *server) writeAt(p []byte, off int64) (time.Duration, error) {
+func (sv *server) writeAt(p []byte, off int64, flush bool) (time.Duration, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	d := sv.charge(int64(len(p)), off, true)
+	if flush {
+		sv.attrFlush(int64(len(p)))
+	}
 	return d, sv.storeLocked(p, off)
 }
 
@@ -335,6 +410,12 @@ type FS struct {
 	qwg     sync.WaitGroup // running queue workers
 	qmu     sync.RWMutex   // guards qclosed vs. in-flight enqueues
 	qclosed bool           // Close drained the queues (sync fallback)
+
+	flushMu  sync.Mutex     // guards flushers
+	flushers []func() error // write-behind flushes Close runs before draining
+
+	auxMu sync.Mutex     // guards aux
+	aux   map[string]any // per-store slots for layered caches (see Aux)
 
 	mu   sync.Mutex
 	size int64 // logical file size (high-water mark of writes/truncate)
@@ -589,7 +670,25 @@ func (fs *FS) ReadV(runs []Run, buf []byte) (int64, error) {
 // WriteV performs a vectored write of runs from buf (runs packed
 // back-to-back in order). It returns the total bytes written.
 func (fs *FS) WriteV(runs []Run, buf []byte) (int64, error) {
+	return fs.writeV(runs, buf, false)
+}
+
+// FlushV is WriteV with flush-sweep attribution: the serviced bytes are
+// additionally counted in ServerStats.FlushWrites/FlushBytes, so
+// benchmarks can split write-behind flush traffic from ordinary
+// dispatch. Write-behind caches (internal/mpiio) send their deferred
+// dirty extents through this path.
+func (fs *FS) FlushV(runs []Run, buf []byte) (int64, error) {
+	return fs.writeV(runs, buf, true)
+}
+
+func (fs *FS) writeV(runs []Run, buf []byte, flush bool) (int64, error) {
 	segs, at, verr := fs.vectored(runs, buf, true)
+	if flush {
+		for i := range segs {
+			segs[i].flush = true
+		}
+	}
 	done, err := fs.dispatch(segs)
 	if err != nil {
 		return done, err
@@ -632,12 +731,62 @@ func (fs *FS) ResetStats() {
 	}
 }
 
-// Close drains and stops the per-server queues, then releases backend
+// Aux returns the store's slot for key, calling mk to fill it on first
+// use (mk runs at most once per key; nil is never stored). Layers
+// above the store — the mpiio write-behind cache — hang their
+// per-file state here, so its lifetime is exactly the store's: no
+// global registry, nothing pinned after the store is dropped.
+func (fs *FS) Aux(key string, mk func() any) any {
+	fs.auxMu.Lock()
+	defer fs.auxMu.Unlock()
+	if v, ok := fs.aux[key]; ok {
+		return v
+	}
+	if fs.aux == nil {
+		fs.aux = make(map[string]any)
+	}
+	v := mk()
+	fs.aux[key] = v
+	return v
+}
+
+// AuxLookup returns the store's slot for key without creating it.
+func (fs *FS) AuxLookup(key string) any {
+	fs.auxMu.Lock()
+	defer fs.auxMu.Unlock()
+	return fs.aux[key]
+}
+
+// AddCloseFlusher registers fn to run at the start of Close, before
+// the per-server queues drain. Write-behind caches layered above the
+// store register their flush here, which gives them the ordering
+// guarantee they need: deferred dirty extents are dispatched through
+// the still-open queues (under the configured scheduler, interleaving
+// with any queued reads) rather than racing the drain and falling into
+// the post-Close synchronous path. Flushers run once, in registration
+// order; a second Close does not re-run them.
+func (fs *FS) AddCloseFlusher(fn func() error) {
+	fs.flushMu.Lock()
+	fs.flushers = append(fs.flushers, fn)
+	fs.flushMu.Unlock()
+}
+
+// Close flushes registered write-behind caches (see AddCloseFlusher),
+// then drains and stops the per-server queues, then releases backend
 // resources (Disk files are synced and closed). I/O issued after Close
 // is serviced synchronously in the caller (the pre-queue semantics).
 func (fs *FS) Close() error {
-	fs.stopQueues()
+	fs.flushMu.Lock()
+	fns := fs.flushers
+	fs.flushers = nil
+	fs.flushMu.Unlock()
 	var first error
+	for _, fn := range fns {
+		if err := fn(); err != nil && first == nil {
+			first = err
+		}
+	}
+	fs.stopQueues()
 	for _, sv := range fs.servers {
 		sv.mu.Lock()
 		if sv.f != nil {

@@ -28,20 +28,16 @@ import (
 // to bound memory for runaway producers.
 const queueDepth = 64
 
-// elevatorWindow bounds one C-SCAN reorder window. The window is frozen
-// before the sweep starts: requests arriving during the sweep wait for
-// the next one, so a stream of hot low-offset requests can delay any
-// other request by at most one full window's service — the fairness
-// property the starvation test pins.
-const elevatorWindow = 32
-
 // ioSeg is one per-server segment of a logical operation, pre-resolved
 // to a server-local offset and a sub-slice of the caller's buffer.
+// flush marks write segments that belong to a write-behind flush sweep
+// (FlushV), for stats attribution.
 type ioSeg struct {
 	server int
 	off    int64 // server-local offset
 	p      []byte
 	write  bool
+	flush  bool
 }
 
 // ioReq is an ioSeg in flight: submission index for deterministic
@@ -96,7 +92,7 @@ func (sv *server) serve(ch chan *ioReq) {
 	for req := range ch {
 		var d time.Duration
 		if req.seg.write {
-			d, req.err = sv.writeAt(req.seg.p, req.seg.off)
+			d, req.err = sv.writeAt(req.seg.p, req.seg.off, req.seg.flush)
 		} else {
 			d, req.err = sv.readAt(req.seg.p, req.seg.off)
 		}
@@ -109,9 +105,14 @@ func (sv *server) serve(ch chan *ioReq) {
 
 // serveElevator is the batching C-SCAN loop: block for one request,
 // opportunistically drain whatever else is already queued (up to the
-// window), freeze the batch, and service it as one ascending sweep. A
-// receive that reports the channel closed means the buffer is already
-// empty, so the loop can exit right after servicing its last batch.
+// reorder window), freeze the batch, and service it as one ascending
+// sweep. The window is Options.WindowSize when positive; when 0 (auto)
+// each sweep freezes the backlog present at its start, so the window
+// tracks queue depth. Either way requests arriving during a sweep wait
+// for the next one — the frozen window is what bounds bypass (no
+// starvation). A receive that reports the channel closed means the
+// buffer is already empty, so the loop can exit right after servicing
+// its last batch.
 func (sv *server) serveElevator(ch chan *ioReq) {
 	notify := func(req *ioReq) { req.done <- req }
 	for {
@@ -119,10 +120,14 @@ func (sv *server) serveElevator(ch chan *ioReq) {
 		if !ok {
 			return
 		}
+		window := sv.window
+		if window <= 0 {
+			window = 1 + len(ch) // auto: freeze the current backlog
+		}
 		batch := []*ioReq{req}
 		open := true
 	drain:
-		for len(batch) < elevatorWindow {
+		for len(batch) < window {
 			select {
 			case r, ok := <-ch:
 				if !ok {
@@ -180,12 +185,19 @@ func (sv *server) serviceRun(reqs []*ioReq) time.Duration {
 		total += int64(len(r.seg.p))
 	}
 	d := sv.charge(total, reqs[0].seg.off, reqs[0].seg.write)
+	var flushed int64
 	for _, r := range reqs {
 		if r.seg.write {
 			r.err = sv.storeLocked(r.seg.p, r.seg.off)
+			if r.seg.flush {
+				flushed += int64(len(r.seg.p))
+			}
 		} else {
 			r.err = sv.loadLocked(r.seg.p, r.seg.off)
 		}
+	}
+	if flushed > 0 {
+		sv.attrFlush(flushed)
 	}
 	return d
 }
@@ -292,7 +304,7 @@ func (fs *FS) dispatchSync(segs []ioSeg) (int64, error) {
 			sv := fs.servers[r.seg.server]
 			var d time.Duration
 			if r.seg.write {
-				d, r.err = sv.writeAt(r.seg.p, r.seg.off)
+				d, r.err = sv.writeAt(r.seg.p, r.seg.off, r.seg.flush)
 			} else {
 				d, r.err = sv.readAt(r.seg.p, r.seg.off)
 			}

@@ -136,3 +136,31 @@ func Ratio(a, b float64) string {
 	}
 	return fmt.Sprintf("%.1fx", a/b)
 }
+
+// Micros renders a microsecond count in human units (histogram bucket
+// labels for service-latency tables).
+func Micros(us int64) string {
+	return time.Duration(us * int64(time.Microsecond)).String()
+}
+
+// PowHist renders a power-of-two bucket histogram (bucket i counts
+// observations with upper bound 2^i, the pfs.Hist convention) as
+// "≤label:count" pairs, skipping empty buckets. label formats a
+// bucket's upper bound — Bytes for request sizes, Micros for service
+// latencies.
+func PowHist(counts []int64, label func(int64) string) string {
+	var b strings.Builder
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "≤%s:%d", label(int64(1)<<uint(i)), c)
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
