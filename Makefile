@@ -23,21 +23,22 @@ race:
 
 # Collective-I/O differential + queue stress tests under the race
 # detector (drxmp_collective_par_test.go, drxmp_wb_diff_test.go,
-# internal/pfs queue/close-flusher stress, internal/mpiio collective +
-# write-behind suites). The heavy suites skip under the -short race
-# target above and run full-size here.
+# drxmp_rc_diff_test.go, internal/pfs queue/close-flusher stress,
+# internal/mpiio collective + file-cache suites). The heavy suites skip
+# under the -short race target above and run full-size here.
 race-collective:
-	$(GO) test -race -run 'Collective|WriteBehind|CloseFlusher' . ./internal/pfs ./internal/mpiio
+	$(GO) test -race -run 'Collective|WriteBehind|CloseFlusher|ReadCache|FileCache' . ./internal/pfs ./internal/mpiio
 
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
-# Collective-benchmark smoke: one iteration of BenchmarkCollective and
-# BenchmarkCollectiveScheduler (parallel vs serial two-phase, FIFO vs
-# elevator scheduling over real-time servers), plus the
-# BENCH_collective.json artifact (MB/s + seeks for FIFO vs elevator,
-# fixed vs adaptive cb_nodes, and the E19 write-behind policy rows)
-# that tracks the perf trajectory across PRs.
+# Collective-benchmark smoke: one iteration of the Collective
+# benchmarks (parallel vs serial two-phase, FIFO vs elevator
+# scheduling, write-behind, and the read-cache warm/no-cache pair),
+# plus the BENCH_collective.json artifact (MB/s + seeks for FIFO vs
+# elevator, fixed vs adaptive cb_nodes, the E19 write-behind policy
+# rows, and the E20 read-cache no-cache/cold/warm rows) that tracks
+# the perf trajectory across PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json

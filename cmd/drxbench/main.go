@@ -3,18 +3,28 @@
 //
 // Usage:
 //
-//	drxbench -exp all            # everything (figures + E1..E15)
+//	drxbench -exp all            # everything (figures + E1..E20)
 //	drxbench -exp fig1           # one experiment
 //	drxbench -exp e4 -scale full # full-size run
 //	drxbench -exp e7 -csv        # CSV output
 //	drxbench -exp e16 -par 16    # parallel section I/O, wider sweep
 //	drxbench -exp e17 -cpar 16   # parallel collective, wider sweep
-//	drxbench -benchjson BENCH_collective.json  # scheduler/cb_nodes perf artifact
+//	drxbench -exp e20 -cache 4194304  # read-cache ablation, fixed 4 MiB budget
+//	drxbench -benchjson BENCH_collective.json  # collective perf artifact
+//	                             # (scheduler/cb_nodes + e19 write-behind
+//	                             #  + e20 read-cache rows)
 //
-// Experiments: fig1 fig2 fig3 e1..e18 (e11-e15 are design ablations,
+// Experiments: fig1 fig2 fig3 e1..e20 (e11-e15 are design ablations,
 // e16 is the parallel-vs-serial section I/O study, e17 the parallel
 // two-phase collective study, e18 the elevator-scheduler / adaptive
-// cb_nodes ablation).
+// cb_nodes ablation, e19 the write-behind collective-buffering
+// ablation, e20 the unified-file-cache read ablation: cold/warm
+// re-reads, data sieving on strided reads, and read-ahead scans).
+//
+// Flags: -exp, -scale, -csv, -list, -par (e16 worker sweep bound),
+// -cpar (e17 worker sweep bound), -cache (e20 cache budget in bytes;
+// 0 sizes the budget to the array), -benchjson (write the collective
+// perf artifact and exit).
 package main
 
 import (
@@ -54,22 +64,27 @@ var experiments = []struct {
 	{"e17", "parallel two-phase collective (per-aggregator workers + pfs server queues)", exp.E17CollectiveParallelism},
 	{"e18", "elevator scheduling + adaptive cb_nodes ablation (incl. straggler servers)", exp.E18SchedulerCBNodes},
 	{"e19", "write-behind collective buffering ablation (immediate / watermark / close-only)", exp.E19WriteBehind},
+	{"e20", "unified file cache read ablation (cold/warm re-read, data sieving, read-ahead)", exp.E20ReadCache},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e18)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e20)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parFlag := flag.Int("par", exp.DefaultParallelism, "max section-I/O parallelism swept by e16")
 	cparFlag := flag.Int("cpar", exp.DefaultCollectiveParallelism, "max collective parallelism swept by e17")
-	benchJSON := flag.String("benchjson", "", "write the scheduler/cb_nodes collective benchmark to this JSON file and exit")
+	cacheFlag := flag.Int64("cache", 0, "read-cache budget in bytes for e20 (0 sizes it to the array)")
+	benchJSON := flag.String("benchjson", "", "write the collective benchmark rows (scheduler/cb_nodes, e19 write-behind, e20 read-cache) to this JSON file and exit")
 	flag.Parse()
 	if *parFlag > 0 {
 		exp.DefaultParallelism = *parFlag
 	}
 	if *cparFlag > 0 {
 		exp.DefaultCollectiveParallelism = *cparFlag
+	}
+	if *cacheFlag > 0 {
+		exp.DefaultCacheBytes = *cacheFlag
 	}
 
 	if *list {

@@ -191,6 +191,108 @@ func BenchmarkCollective(b *testing.B) {
 	}
 }
 
+// BenchmarkCollectiveReadCache measures the read side of the unified
+// extent cache (the acceptance benchmark of the read-cache tentpole):
+// one epoch = every chunk-row band of a seeded array read by a
+// separate 4-rank collective, bands visited in stride order, over 8
+// real-time servers charging 2 ms per seek. The no-cache rows pay the
+// full server traffic on every epoch; the cache rows run one untimed
+// priming epoch and then serve every timed epoch from the shared
+// extent cache — the warm sectioned re-read the paper's out-of-core
+// scans repeat. Acceptance bar: warm >= 1.5x the no-cache epoch.
+func BenchmarkCollectiveReadCache(b *testing.B) {
+	const (
+		n       = 192
+		chunk   = 32
+		ranks   = 4
+		servers = 8
+	)
+	stripe := int64(2 << 10)
+	cost := pfs.CostModel{
+		RequestOverhead: 100 * time.Microsecond,
+		SeekLatency:     2 * time.Millisecond,
+		ByteTime:        10 * time.Nanosecond,
+		RealTime:        true,
+	}
+	for _, cfg := range []struct {
+		name  string
+		cache int64
+	}{
+		{"nocache", 0},
+		{"cache", n * n * 8 * 2},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.SetBytes(int64(n) * n * 8)
+			err := cluster.Run(ranks, func(c *cluster.Comm) error {
+				f, err := drxmp.Create(c, "brc-"+cfg.name, drxmp.Options{
+					DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
+					FS: pfs.Options{
+						Servers: servers, StripeSize: stripe, Cost: cost,
+						Scheduler: pfs.Elevator,
+					},
+					CollectiveParallelism: 8,
+					CacheBytes:            cfg.cache,
+				})
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				f.IO().CollectiveBufferSize = stripe
+
+				q := n / ranks
+				bands := n / chunk
+				var perm []int
+				for t := 0; t < bands; t += 2 {
+					perm = append(perm, t)
+				}
+				for t := 1; t < bands; t += 2 {
+					perm = append(perm, t)
+				}
+				seed := make([]byte, int64(n)*int64(q)*8)
+				for j := range seed {
+					seed[j] = byte(c.Rank() + j)
+				}
+				full := drxmp.NewBox([]int{0, c.Rank() * q}, []int{n, (c.Rank() + 1) * q})
+				if err := f.WriteSectionAll(full, seed, drxmp.RowMajor); err != nil {
+					return err
+				}
+				epoch := func() error {
+					for _, t := range perm {
+						box := drxmp.NewBox(
+							[]int{t * chunk, c.Rank() * q},
+							[]int{(t + 1) * chunk, (c.Rank() + 1) * q})
+						buf := make([]byte, box.Volume()*8)
+						if err := f.ReadSectionAll(box, buf, drxmp.RowMajor); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				// Priming epoch (untimed for both configs, so the rows
+				// differ only in where the timed epochs are served from).
+				if err := epoch(); err != nil {
+					return err
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					b.ResetTimer()
+				}
+				for i := 0; i < b.N; i++ {
+					if err := epoch(); err != nil {
+						return err
+					}
+				}
+				return c.Barrier()
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkCollectiveWriteBehind measures write-behind collective
 // buffering against immediate dispatch (the acceptance benchmark of
 // the write-behind tentpole): one epoch = every chunk-row band of the

@@ -245,6 +245,18 @@ func (d *DistArray) PutSection(box Box, src []byte) error {
 	})
 }
 
+// Refresh collectively re-reads every zone from the principal array
+// file into the local buffers — the inverse of FlushToFile, for
+// workflows that alternate out-of-core passes with distributed ones.
+// The collective read is coherent with the unified extent cache: with
+// write-behind it observes every rank's deferred bytes, and with read
+// caching (Options.CacheBytes) a re-read of a warm file comes from
+// memory without touching the I/O servers. Must be called by every
+// process, between RMA epochs (as with Distribute, no fence is held).
+func (d *DistArray) Refresh() error {
+	return d.f.ReadSectionAll(d.box, d.local, d.order)
+}
+
 // FlushToFile collectively writes every zone back to the principal
 // array file. With write-behind enabled the zones ride the dirty-extent
 // cache like any collective write: collective reads (and this rank's

@@ -48,6 +48,9 @@ type (
 	Order = grid.Order
 	// Box is a half-open sub-array region.
 	Box = grid.Box
+	// CacheStats is the unified extent cache's cumulative accounting
+	// (see File.CacheStats).
+	CacheStats = mpiio.CacheStats
 )
 
 // Element types and orders.
@@ -114,12 +117,30 @@ type Options struct {
 	// bytes — the cache is shared by every rank's handle); < 0 buffers
 	// without bound (flush on Sync, Close, or read coherence only).
 	// Reads through any handle — independent or collective, any rank —
-	// observe the deferred bytes: intersecting dirty extents are
-	// flushed first. Use Sync for durability ordering (bytes on the
-	// servers) and around concurrent conflicting access, whose outcome
-	// is otherwise undefined exactly as in MPI. Every rank must pass
-	// the same value.
+	// observe the deferred bytes: they are served from the cache when
+	// CacheBytes is set, and flushed first otherwise. Use Sync for
+	// durability ordering (bytes on the servers) and around concurrent
+	// conflicting access, whose outcome is otherwise undefined exactly
+	// as in MPI. Every rank must pass the same value.
 	WriteBehindBytes int64
+	// CacheBytes enables the read side of the unified per-file extent
+	// cache with that memory budget in bytes: independent and
+	// collective reads fetch sieve-aligned covering blocks (one
+	// vectored request per miss) into the cache, hole-free re-reads
+	// come from memory, and the budget caps the file's TOTAL cached
+	// bytes — clean extents evict LRU-first, deferred write-behind
+	// extents flush-on-evict. 0 (the default) disables read caching.
+	// The cache is shared by every rank's handle on the store, so a
+	// block fetched by one rank warms all of them. The sieve block
+	// granularity is the stripe size unless IO().SieveSize overrides
+	// it. Every rank must pass the same value.
+	CacheBytes int64
+	// ReadAheadBytes extends each sieve fetch past the requested range
+	// by this many bytes (rounded up to whole sieve blocks), so a
+	// forward sectioned scan finds its next block already cached. 0
+	// (the default) disables read-ahead. Meaningful only with
+	// CacheBytes > 0. Every rank must pass the same value.
+	ReadAheadBytes int64
 }
 
 // File is one process's handle on a shared extendible array file. All
@@ -234,6 +255,8 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 	f.io.Parallelism = opts.CollectiveParallelism
 	f.io.CBNodes = opts.CBNodes
 	f.io.WriteBehind = opts.WriteBehindBytes
+	f.io.CacheBytes = opts.CacheBytes
+	f.io.ReadAhead = opts.ReadAheadBytes
 	if err := f.persistMeta(); err != nil {
 		// Rank 0 owns the store it just created: release it (queue
 		// goroutines, disk files) rather than leak it on a failed create.
@@ -402,9 +425,33 @@ func (f *File) SetWriteBehind(n int64) error {
 // WriteBehind returns the write-behind policy knob (0 = immediate).
 func (f *File) WriteBehind() int64 { return f.io.WriteBehind }
 
+// SetCacheBytes adjusts the read-cache memory budget after open (same
+// semantics as Options.CacheBytes; must match on every rank).
+// Disabling (n == 0) releases the cached clean extents; deferred
+// write-behind extents stay buffered.
+func (f *File) SetCacheBytes(n int64) { f.io.SetCacheBytes(n) }
+
+// CacheBytes returns the read-cache memory budget (0 = disabled).
+func (f *File) CacheBytes() int64 { return f.io.CacheBytes }
+
+// SetReadAhead adjusts the sieve read-ahead after open (same semantics
+// as Options.ReadAheadBytes; must match on every rank).
+func (f *File) SetReadAhead(n int64) { f.io.SetReadAhead(n) }
+
+// ReadAhead returns the sieve read-ahead knob (0 = disabled).
+func (f *File) ReadAhead() int64 { return f.io.ReadAhead }
+
+// CacheStats returns the cumulative unified-cache accounting for the
+// file (hits, misses, sieve fetches, evictions, absorbs, flushes).
+func (f *File) CacheStats() mpiio.CacheStats { return f.io.CacheStats() }
+
 // Dirty returns the bytes currently buffered by this rank's
 // write-behind cache (benchmarks and tests).
 func (f *File) Dirty() int64 { return f.io.Dirty() }
+
+// Cached returns the total bytes (clean + dirty) currently held by the
+// file's shared extent cache.
+func (f *File) Cached() int64 { return f.io.Cached() }
 
 // syncWorkers is the worker bound of the DistArray section-sync paths
 // (GetSection/PutSection): the larger of the independent-I/O and
@@ -650,16 +697,27 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 			}
 			pruns = append(pruns, pfs.Run{Off: r.fileOff, Len: l})
 		}
-		// Write-behind coherence before any direct store access: reads
-		// flush this rank's intersecting dirty extents, writes punch the
-		// about-to-be-overwritten ranges out of the cache. Both the
-		// serial and parallel dispatch below then talk to the store
-		// directly.
-		if err := f.io.Coherent(pruns, write); err != nil {
-			return err
+		// Unified-cache coherence before any direct store access: writes
+		// punch the about-to-be-overwritten ranges out of the cache
+		// (clean and dirty), and reads either go THROUGH the cache (read
+		// caching on: covered bytes from memory, holes sieve-fetched —
+		// see the dispatch below) or flush this rank's intersecting
+		// dirty extents first and talk to the store directly.
+		if write || !f.cacheActive() {
+			if err := f.io.Coherent(pruns, write); err != nil {
+				return err
+			}
 		}
 		if workers := f.Parallelism(); workers > 1 && len(runs) > 1 {
-			return f.sectionIOParallel(runs, scratch, buf, write, workers)
+			if err := f.sectionIOParallel(runs, scratch, buf, write, workers); err != nil {
+				return err
+			}
+			if write {
+				// Close the sieve-fetch race once the group writes have
+				// landed (see mpiio.File.PostWrite).
+				return f.io.PostWrite(pruns)
+			}
+			return nil
 		}
 	}
 
@@ -678,8 +736,10 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 			}
 			return f.io.WriteAllAt(scratch, 0)
 		}
-		_, err := f.fs.WriteV(pruns, scratch)
-		return err
+		if _, err := f.fs.WriteV(pruns, scratch); err != nil {
+			return err
+		}
+		return f.io.PostWrite(pruns)
 	}
 	if collective {
 		if len(blocks) == 0 {
@@ -695,6 +755,13 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 		if err := f.io.ReadAllAt(scratch, 0); err != nil {
 			return err
 		}
+	} else if f.cacheActive() {
+		// Cache-coherent independent read: one ReadV through the unified
+		// cache serves cached stripes from memory and sieve-fetches the
+		// holes as a single vectored request.
+		if err := f.io.ReadV(pruns, scratch); err != nil {
+			return err
+		}
 	} else {
 		if _, err := f.fs.ReadV(pruns, scratch); err != nil {
 			return err
@@ -703,6 +770,10 @@ func (f *File) sectionIO(box Box, buf []byte, order Order, write, collective boo
 	f.scatterGather(runs, scratch, buf, true)
 	return nil
 }
+
+// cacheActive reports whether independent reads route through the
+// unified extent cache (Options.CacheBytes > 0).
+func (f *File) cacheActive() bool { return f.io.CacheBytes > 0 }
 
 // ReadSection reads the sub-array `box` into buf (dense, in the given
 // order) with independent I/O.

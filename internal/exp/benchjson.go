@@ -73,9 +73,45 @@ func WriteBehindBench(sc Scale) ([]CollectiveBenchResult, error) {
 	return out, nil
 }
 
-// WriteCollectiveBenchJSON runs CollectiveBench and WriteBehindBench
-// and writes the combined rows to path as indented JSON — the
-// BENCH_collective.json artifact CI uploads per PR.
+// ReadCacheBench runs the E20 two-pass collective read epoch per cache
+// policy and returns throughput rows for the artifact: "e20/no-cache"
+// (warm pass without a cache — the re-read baseline), "e20/cold" (the
+// cache's first pass, paying the sieve fetches), and "e20/warm" (the
+// re-read served from the shared extent cache). WriteMS is zero — the
+// epochs are read-only.
+func ReadCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(192, 384)
+	const ranks = 4
+	const servers = 8
+	stripe := int64(2 << 10)
+	bytesMoved := float64(n) * float64(n) * 8
+	row := func(config string, wall time.Duration, seeks int64) CollectiveBenchResult {
+		return CollectiveBenchResult{
+			Config: config,
+			ReadMS: float64(wall) / float64(time.Millisecond),
+			MBps:   bytesMoved / (1 << 20) * float64(time.Second) / float64(wall),
+			Seeks:  seeks,
+		}
+	}
+	_, warmOff, _, seeksOff, _, _, err := e20Run(n, ranks, servers, stripe,
+		func(int64) int64 { return 0 }, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("e20/no-cache: %w", err)
+	}
+	cold, warm, _, seeks, _, _, err := e20Run(n, ranks, servers, stripe, e20Budget, 0, false)
+	if err != nil {
+		return nil, fmt.Errorf("e20/cache: %w", err)
+	}
+	return []CollectiveBenchResult{
+		row("e20/no-cache", warmOff, seeksOff),
+		row("e20/cold", cold, seeks),
+		row("e20/warm", warm, seeks),
+	}, nil
+}
+
+// WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench, and
+// ReadCacheBench and writes the combined rows to path as indented JSON
+// — the BENCH_collective.json artifact CI uploads per PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
 	rows, err := CollectiveBench(sc)
 	if err != nil {
@@ -86,6 +122,11 @@ func WriteCollectiveBenchJSON(path string, sc Scale) error {
 		return err
 	}
 	rows = append(rows, wbRows...)
+	rcRows, err := ReadCacheBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, rcRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

@@ -42,16 +42,19 @@ import (
 //
 // With File.WriteBehind enabled, a collective write does not dispatch
 // at all: each aggregator absorbs its coalesced union runs into the
-// file's SHARED dirty-extent cache (writebehind.go — one cache per
+// file's SHARED unified extent cache (filecache.go — one cache per
 // store, used by every rank's handle), merging with the unions of
 // earlier collectives, and the cache flushes in large vectored sweeps
-// on the watermark, on Sync/Close, or when a read intersects a dirty
-// extent. The collective's global union is punched out of the cache
-// exactly once before the exchange (PunchOnce), so stale data for
-// ranges whose domain ownership moved cannot outlive the collective
-// that rewrote them. Collective reads add one agreement round after
-// the coherence flush so an in-flight flush on one rank lands before
-// any other rank's aggregator starts fetching.
+// on the watermark, on Sync/Close, on budget-pressure eviction, or
+// when a read intersects a dirty extent. The collective's global union
+// is punched out of the cache exactly once before the exchange
+// (PunchOnce), so stale data for ranges whose domain ownership moved
+// cannot outlive the collective that rewrote them. Collective reads
+// add one agreement round after the coherence step so an in-flight
+// wb-only flush on one rank lands before any other rank's aggregator
+// starts fetching. With File.CacheBytes > 0 the read side goes through
+// the same cache: aggregateRead serves cached stripes (clean or
+// deferred-dirty) from memory and sieve-fetches only the holes.
 
 // ReadAllAt is the collective read: every rank of the communicator must
 // call it (ranks with nothing to read pass an empty buf). Each rank
@@ -163,21 +166,25 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 	})
 	myPlaced := placedBy[me]
 
-	// Write-behind coherence against the file's shared dirty-extent
-	// cache. The global union of the collective is the exact byte set
-	// about to move: a write punches it out of the cache exactly once
-	// (PunchOnce — stale data for re-homed ranges is discarded before
-	// any aggregator absorbs its replacement); a read must observe the
-	// deferred bytes, so the intersecting dirty extents are flushed and
-	// the agreement round barriers in-flight flushes before any
-	// aggregator fetches.
-	wb := f.sharedWB()
-	if write && f.WriteBehind != 0 {
-		// Resolve (and on the first buffered collective, create) the
-		// shared cache HERE, before any rank can absorb: creation
-		// mid-collective would let a slow rank observe the cache late
-		// and punch the union after a fast aggregator's absorb.
-		wb = f.wbCache()
+	// Unified-cache coherence. The global union of the collective is
+	// the exact byte set about to move: a write punches it out of the
+	// cache — clean and dirty extents alike — exactly once (PunchOnce:
+	// stale data for re-homed ranges is discarded before any
+	// aggregator absorbs or writes its replacement); a read must
+	// observe the deferred bytes. With clean caching on, the read side
+	// needs no flush — the aggregators' ReadThrough serves dirty
+	// extents straight from memory, and a caching flush never removes
+	// data mid-sweep — but in wb-only mode the intersecting dirty
+	// extents are flushed and the agreement round barriers in-flight
+	// flushes before any aggregator fetches.
+	wb := f.sharedCache()
+	if f.WriteBehind != 0 || f.cacheActive() {
+		// Resolve (and on the first caching collective, create) the
+		// shared cache HERE, before any rank can absorb or fetch:
+		// creation mid-collective would let a slow rank observe the
+		// cache late and punch the union after a fast aggregator's
+		// absorb.
+		wb = f.cache()
 	}
 	var union []pfs.Run
 	if wb != nil {
@@ -195,10 +202,10 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 		// PR 3 wire pattern is untouched otherwise. It is mandatory
 		// whenever a flush can fail here: returning ferr without the
 		// round would strand peers in the exchange. Every rank must
-		// agree on the knob, and cache existence is synchronized by the
-		// collective that created it.
+		// agree on the knobs, and cache existence is synchronized by
+		// the collective that created it.
 		var ferr error
-		if wb != nil {
+		if wb != nil && !wb.caching() {
 			ferr = wb.FlushIntersecting(union)
 		}
 		if err := f.agree(ferr); err != nil {
@@ -525,7 +532,11 @@ func (s *staging) slice(off, n int64) []byte {
 // of its domain's requested extents, capped by CollectiveBufferSize
 // and issued as ONE vectored ReadV — every per-server segment of the
 // domain is queued up front, so service time overlaps across servers
-// and the elevator sees the whole batch without needing workers.
+// and the elevator sees the whole batch without needing workers. With
+// clean caching on, the read goes through the unified cache instead:
+// cached stripes (including other ranks' deferred dirty bytes) come
+// from memory and only the holes are sieve-fetched, so a re-read of a
+// warm domain touches no server at all.
 func (f *File) aggregateRead(dom domains, placedBy [][]placed) (*staging, error) {
 	runs := domainRuns(f.comm.Rank(), placedBy)
 	if len(runs) == 0 {
@@ -534,7 +545,14 @@ func (f *File) aggregateRead(dom domains, placedBy [][]placed) (*staging, error)
 	s := newStaging(runs)
 	// Capped runs pack back-to-back in exactly the staging layout (the
 	// cap only splits runs, never reorders or drops bytes).
-	if _, err := f.fs.ReadV(capRuns(runs, f.CollectiveBufferSize), s.data); err != nil {
+	capped := capRuns(runs, f.CollectiveBufferSize)
+	if c := f.sharedCache(); c != nil && c.caching() {
+		if err := c.ReadThrough(capped, s.data); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if _, err := f.fs.ReadV(capped, s.data); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -571,11 +589,16 @@ func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) e
 		}
 	}
 	if f.WriteBehind != 0 {
-		w := f.wbCache()
+		w := f.cache()
 		for i, r := range runs {
 			// The staging buffer is private to this collective, so the
 			// cache may alias its run slices instead of copying.
 			w.Absorb(r.Off, s.data[s.start[i]:s.start[i]+r.Len])
+		}
+		// The memory budget caps clean + dirty: over it, clean extents
+		// evict and LRU dirty extents flush-on-evict.
+		if err := w.EnforceBudget(); err != nil {
+			return err
 		}
 		if f.WriteBehind > 0 && w.Bytes() >= f.WriteBehind {
 			return w.FlushAll()
@@ -583,9 +606,13 @@ func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) e
 		return nil
 	}
 	// The packed staging layout is exactly WriteV's: one vectored call
-	// dispatches every per-server segment of the domain at once.
-	_, err := f.fs.WriteV(capRuns(runs, f.CollectiveBufferSize), s.data)
-	return err
+	// dispatches every per-server segment of the domain at once. The
+	// post-write punch closes the sieve-fetch race exactly as on the
+	// independent path (File.PostWrite).
+	if _, err := f.fs.WriteV(capRuns(runs, f.CollectiveBufferSize), s.data); err != nil {
+		return err
+	}
+	return f.PostWrite(runs)
 }
 
 // --- run wire encoding (fixed 16 bytes per run) ---

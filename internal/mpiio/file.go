@@ -3,6 +3,7 @@ package mpiio
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"drxmp/internal/cluster"
 	"drxmp/internal/par"
@@ -50,54 +51,114 @@ type File struct {
 	Parallelism int
 
 	// WriteBehind selects the write-behind policy for collective
-	// writes (the dirty-extent cache of writebehind.go): 0 (the
-	// default) dispatches each collective's union runs immediately;
-	// > 0 buffers dirty unions across collectives and flushes the
-	// whole cache once that many bytes are buffered (the watermark);
-	// < 0 buffers without bound, flushing only on Sync, Close, or read
-	// coherence. The cache is shared by every handle on the same store
-	// (the watermark is on the file's total buffered bytes), so reads
-	// through ANY handle observe the deferred bytes — intersecting
-	// dirty extents are flushed first. Every rank of a communicator
-	// must use the same enabled/disabled state (collective reads
-	// insert one coherence round when enabled). Concurrent unsynced
-	// access to overlapping ranges keeps MPI's usual semantics:
-	// undefined without a Sync/barrier between the conflicting
-	// operations.
+	// writes (the dirty side of the unified extent cache,
+	// filecache.go): 0 (the default) dispatches each collective's
+	// union runs immediately; > 0 buffers dirty unions across
+	// collectives and flushes the whole cache once that many bytes are
+	// buffered (the watermark); < 0 buffers without bound, flushing
+	// only on Sync, Close, read coherence, or budget-pressure
+	// eviction. The cache is shared by every handle on the same store
+	// (the watermark is on the file's total buffered dirty bytes), so
+	// reads through ANY handle observe the deferred bytes — served
+	// from memory when clean caching is on, flushed first otherwise.
+	// Every rank of a communicator must use the same enabled/disabled
+	// state (collective reads insert one coherence round when a cache
+	// is in play). Concurrent unsynced access to overlapping ranges
+	// keeps MPI's usual semantics: undefined without a Sync/barrier
+	// between the conflicting operations.
 	WriteBehind int64
 
-	wb *writeBehind // resolved shared dirty-extent cache (lazy)
+	// CacheBytes enables the clean side of the unified extent cache —
+	// data sieving for reads — with that memory budget in bytes: reads
+	// fetch sieve-aligned covering blocks (one vectored SieveReadV)
+	// into the cache and hole-free re-reads come from memory. The
+	// budget caps the file's TOTAL cached bytes, clean and dirty:
+	// clean extents evict LRU-first, dirty extents flush-on-evict. 0
+	// (the default) disables clean caching — the cache degenerates to
+	// the PR 4 write-behind behavior. Every rank must use the same
+	// value.
+	CacheBytes int64
+
+	// SieveSize is the sieve block granularity of cached read fetches
+	// (requested ranges round out to multiples of it). 0 selects the
+	// store's stripe size, which keeps sieve fetches server-aligned.
+	// Meaningful only with CacheBytes > 0.
+	SieveSize int64
+
+	// ReadAhead extends each sieve fetch past the requested range by
+	// this many bytes (rounded up to whole sieve blocks), so a forward
+	// sectioned scan finds its next block already cached. 0 disables.
+	// Meaningful only with CacheBytes > 0.
+	ReadAhead int64
+
+	// fc memoizes the shared extent cache. Atomic because the parallel
+	// independent-read path resolves it from concurrent run-group
+	// workers (every resolver stores the same per-store instance, so
+	// racing stores are idempotent).
+	fc atomic.Pointer[fileCache]
 }
 
 // workers resolves the collective parallelism knob.
 func (f *File) workers() int { return par.Resolve(f.Parallelism) }
 
-// wbCache returns the file's shared dirty-extent cache, creating it
-// (and registering its flush with the store's Close) on first use.
+// cache returns the file's shared extent cache, creating it (and
+// registering its flush with the store's Close) on first use, and
+// re-applies this handle's policy knobs (CacheBytes/SieveSize/
+// ReadAhead — shared state, so every rank must use the same values).
 // Every handle on the same store resolves to the same cache.
-func (f *File) wbCache() *writeBehind {
-	if f.wb == nil {
-		f.wb = sharedWBCache(f.fs)
+func (f *File) cache() *fileCache {
+	c := f.fc.Load()
+	if c == nil {
+		c = sharedFileCache(f.fs)
+		f.fc.Store(c)
 	}
-	return f.wb
+	c.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+	return c
 }
 
-// sharedWB returns the file's shared cache without creating one — the
-// coherence hooks use it, so a handle that never wrote still observes
-// the deferred bytes of the handles that did.
-func (f *File) sharedWB() *writeBehind {
-	if f.wb == nil {
-		f.wb = lookupWBCache(f.fs)
+// sharedCache returns the file's shared cache without creating one —
+// the coherence hooks use it, so a handle that never wrote still
+// observes the deferred bytes of the handles that did.
+func (f *File) sharedCache() *fileCache {
+	c := f.fc.Load()
+	if c == nil {
+		if c = lookupFileCache(f.fs); c != nil {
+			f.fc.Store(c)
+		}
 	}
-	return f.wb
+	return c
 }
 
-// Sync flushes every buffered write-behind extent of the file — all
-// ranks' deferred collective writes share one cache — to the file
-// system as one vectored flush sweep (MPI_File_sync). A file with
-// nothing buffered is a no-op.
+// cacheActive reports whether this handle runs reads through the
+// unified cache (clean caching / data sieving enabled).
+func (f *File) cacheActive() bool { return f.CacheBytes > 0 }
+
+// SetCacheBytes adjusts the cache memory budget and applies it to the
+// shared cache immediately when one exists — dropping the budget to 0
+// releases the clean extents right away instead of at the next cached
+// operation. Every rank must use the same value.
+func (f *File) SetCacheBytes(n int64) {
+	f.CacheBytes = n
+	if w := f.sharedCache(); w != nil {
+		w.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+	}
+}
+
+// SetReadAhead adjusts the sieve read-ahead, applied like SetCacheBytes.
+func (f *File) SetReadAhead(n int64) {
+	f.ReadAhead = n
+	if w := f.sharedCache(); w != nil {
+		w.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+	}
+}
+
+// Sync flushes every buffered dirty extent of the file — all ranks'
+// deferred collective writes share one cache — to the file system as
+// one vectored flush sweep (MPI_File_sync). With clean caching on the
+// flushed extents stay cached (clean), so a post-Sync re-read is warm.
+// A file with nothing dirty is a no-op.
 func (f *File) Sync() error {
-	if w := f.sharedWB(); w != nil {
+	if w := f.sharedCache(); w != nil {
 		return w.FlushAll()
 	}
 	return nil
@@ -111,32 +172,49 @@ func (f *File) SyncAll() error {
 	return f.agree(f.Sync())
 }
 
-// Dirty returns the bytes currently buffered by the file's shared
-// write-behind cache.
+// Dirty returns the dirty bytes currently buffered by the file's
+// shared extent cache.
 func (f *File) Dirty() int64 {
-	if w := f.sharedWB(); w != nil {
+	if w := f.sharedCache(); w != nil {
 		return w.Bytes()
 	}
 	return 0
 }
 
+// Cached returns the total bytes (clean + dirty) currently held by the
+// file's shared extent cache.
+func (f *File) Cached() int64 {
+	if w := f.sharedCache(); w != nil {
+		return w.Cached()
+	}
+	return 0
+}
+
+// CacheStats returns the cumulative extent-cache accounting for the
+// file (absorbs, flushes, hits/misses, sieve fetches, evictions).
+func (f *File) CacheStats() CacheStats {
+	if w := f.sharedCache(); w != nil {
+		return w.Stats()
+	}
+	return CacheStats{}
+}
+
 // WriteBehindStats returns cumulative write-behind accounting for the
 // file: bytes absorbed by the cache and flush sweeps issued.
 func (f *File) WriteBehindStats() (absorbed, flushes int64) {
-	if w := f.sharedWB(); w != nil {
-		return w.Stats()
-	}
-	return 0, 0
+	st := f.CacheStats()
+	return st.Absorbed, st.Flushes
 }
 
-// Coherent applies the write-behind coherence rule to a run list this
+// Coherent applies the unified-cache coherence rule to a run list this
 // rank is about to transfer directly against the store: a read flushes
 // the dirty extents it intersects (so it observes every handle's
 // deferred bytes — the cache is shared), a write punches the runs out
-// of the cache (so a later flush cannot clobber the newer file bytes).
-// No-op without a cache.
+// of the cache, clean and dirty alike (so neither a later flush nor a
+// cached re-read can resurrect superseded bytes). No-op without a
+// cache.
 func (f *File) Coherent(runs []pfs.Run, write bool) error {
-	w := f.sharedWB()
+	w := f.sharedCache()
 	if w == nil {
 		return nil
 	}
@@ -149,9 +227,15 @@ func (f *File) Coherent(runs []pfs.Run, write bool) error {
 	return w.FlushIntersecting(runs)
 }
 
-// ReadV reads the coalesced runs into buf (packed back-to-back) with
-// read coherence against the write-behind cache.
+// ReadV reads the coalesced runs into buf (packed back-to-back). With
+// clean caching on (CacheBytes > 0) the read goes through the unified
+// cache — covered bytes, dirty or clean, come from memory and holes
+// are sieve-fetched; otherwise it applies the wb-only read coherence
+// (flush intersecting dirty extents) and reads the store.
 func (f *File) ReadV(runs []pfs.Run, buf []byte) error {
+	if f.cacheActive() {
+		return f.cache().ReadThrough(runs, buf)
+	}
 	if err := f.Coherent(runs, false); err != nil {
 		return err
 	}
@@ -160,13 +244,34 @@ func (f *File) ReadV(runs []pfs.Run, buf []byte) error {
 }
 
 // WriteV writes the coalesced runs from buf (packed back-to-back),
-// punching the runs out of the write-behind cache first.
+// punching the runs out of the unified cache first — and, with clean
+// caching on, once more after the store write lands (PostWrite).
 func (f *File) WriteV(runs []pfs.Run, buf []byte) error {
 	if err := f.Coherent(runs, true); err != nil {
 		return err
 	}
-	_, err := f.fs.WriteV(runs, buf)
-	return err
+	if _, err := f.fs.WriteV(runs, buf); err != nil {
+		return err
+	}
+	return f.PostWrite(runs)
+}
+
+// PostWrite re-punches runs after a direct store write has completed.
+// The pre-write punch (Coherent) bumps the cache generation, but a
+// sieve fetch already in flight may have read the store BEFORE the
+// write landed and would insert those stale bytes as clean afterwards;
+// the gen guard stops inserts that finish after this punch, and this
+// punch removes any that slipped in between. Direct-write paths above
+// the cache (drxmp sectionIO, the collective aggregateWrite) call it
+// once their store writes return. No-op unless clean caching is on —
+// without clean extents there is nothing a racing read could poison.
+func (f *File) PostWrite(runs []pfs.Run) error {
+	if w := f.sharedCache(); w != nil && w.caching() {
+		for _, r := range runs {
+			w.Punch(r.Off, r.Len)
+		}
+	}
+	return nil
 }
 
 // Open returns a handle on fs for this process. It is collective only

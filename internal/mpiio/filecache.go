@@ -1,0 +1,751 @@
+package mpiio
+
+import (
+	"sort"
+	"sync"
+
+	"drxmp/internal/extent"
+	"drxmp/internal/pfs"
+)
+
+// Unified per-file extent cache: the write-behind machinery of PR 4
+// (dirty extents absorbed from collective writes, flushed in vectored
+// pfs.FlushV sweeps) generalized into ONE cache holding clean and
+// dirty extents, so the same data structure serves both directions of
+// the out-of-core access pattern — deferred writes out, data-sieved
+// reads in.
+//
+//   - Dirty extents are deferred collective-write bytes (File.WriteBehind).
+//     They flush on the watermark, Sync, Close, read coherence (when
+//     clean caching is off), or budget-pressure eviction.
+//   - Clean extents are sieve-block read fetches (File.CacheBytes > 0):
+//     a read fetches the covering extent rounded to sieve-aligned
+//     blocks as one vectored pfs.SieveReadV, serves the caller from it,
+//     and keeps it so hole-free re-reads come from memory. Read-ahead
+//     (File.ReadAhead) extends each fetch past the requested range so
+//     a sectioned forward scan finds its next block already cached.
+//
+// Invariants and coherence (generalizing the PR 4 rules):
+//
+//   - The cache is SHARED by every handle opened on the same pfs.FS
+//     (one cache per file): aggregators on every rank absorb into it,
+//     reads through any rank's handle observe every rank's deferred
+//     bytes, and a sieve block fetched by one rank warms every rank.
+//   - Extents are sorted by offset and pairwise disjoint. Dirty extents
+//     are additionally non-adjacent to each other (absorbs merge);
+//     clean extents may sit adjacent to anything.
+//   - Writes PUNCH overlapping extents of either color — stale clean
+//     data may not survive the write that superseded it, exactly as
+//     stale dirty data may not (collective writes punch their global
+//     union once via PunchOnce, independent writes punch their runs).
+//   - Reads with clean caching enabled go through ReadThrough, which
+//     serves dirty bytes straight from memory — no coherence flush is
+//     needed because a flush never removes data from a caching cache:
+//     FlushAll/FlushIntersecting write the dirty bytes back and mark
+//     the extents clean IN PLACE, so there is no window where a byte
+//     is in neither the cache nor the store. With clean caching off
+//     (budget 0) the cache degenerates to the PR 4 write-behind cache:
+//     reads flush intersecting dirty extents and go to the store, and
+//     flushes remove what they wrote (flushMu closes the window).
+//   - The memory budget (CacheBytes) caps the TOTAL cached bytes.
+//     Over budget, clean extents evict in LRU order; if the dirty
+//     bytes alone exceed the budget, the least-recently-used dirty
+//     extents flush-on-evict through the same vectored pfs.FlushV
+//     sweep and then evict as clean.
+//   - A generation counter (bumped by every punch and absorb) guards
+//     sieve fetches: a fetch that raced a write serves its caller but
+//     does not insert, so pre-write store bytes can never enter the
+//     cache as clean.
+
+// cext is one cached byte range and its buffered data
+// (len(data) == length of the range).
+type cext struct {
+	off   int64
+	data  []byte
+	dirty bool
+	use   int64 // LRU stamp (fileCache.clock at last touch)
+}
+
+func (e *cext) end() int64 { return e.off + int64(len(e.data)) }
+
+// CacheStats is the cumulative accounting of a file's extent cache
+// (never reset; Sub snapshots for phase measurement).
+type CacheStats struct {
+	Absorbed     int64 // dirty bytes absorbed from collective writes
+	Flushes      int64 // flush sweeps issued
+	Hits         int64 // ReadThrough calls served entirely from memory
+	Misses       int64 // ReadThrough calls that fetched at least one hole
+	HitBytes     int64 // bytes served from cached extents
+	MissBytes    int64 // requested bytes that had to be fetched
+	SieveFetched int64 // bytes fetched by sieve reads (>= MissBytes: rounding + read-ahead)
+	Evicted      int64 // clean bytes evicted by the memory budget
+	FlushEvicted int64 // dirty bytes flushed by budget pressure
+}
+
+// Sub returns s - t field-wise.
+func (s CacheStats) Sub(t CacheStats) CacheStats {
+	return CacheStats{
+		Absorbed:     s.Absorbed - t.Absorbed,
+		Flushes:      s.Flushes - t.Flushes,
+		Hits:         s.Hits - t.Hits,
+		Misses:       s.Misses - t.Misses,
+		HitBytes:     s.HitBytes - t.HitBytes,
+		MissBytes:    s.MissBytes - t.MissBytes,
+		SieveFetched: s.SieveFetched - t.SieveFetched,
+		Evicted:      s.Evicted - t.Evicted,
+		FlushEvicted: s.FlushEvicted - t.FlushEvicted,
+	}
+}
+
+// fileCache is the shared per-file extent cache. All methods are safe
+// for concurrent use (every rank's handle, and the close-flusher the
+// cache registers with the pfs store, share it).
+//
+// Lock order: flushMu before mu, never the reverse. flushMu serializes
+// flush sweeps END TO END; in wb-only mode (no clean caching) it
+// additionally closes the removed-but-not-yet-written window exactly
+// as in PR 4 — a reader's FlushIntersecting blocks until the in-flight
+// sweep is durable.
+type fileCache struct {
+	fs *pfs.FS
+
+	flushMu sync.Mutex // serializes flush sweeps (see above)
+
+	mu       sync.Mutex
+	ext      []*cext // sorted by off, pairwise disjoint
+	dirty    int64   // buffered dirty bytes
+	total    int64   // buffered bytes, clean + dirty
+	arrivals int     // ranks arrived at PunchOnce in this collective
+	gen      int64   // bumped by every punch/absorb (sieve-insert guard)
+	clock    int64   // LRU clock
+
+	// Policy (Configure): shared, so every handle on the store must
+	// agree — the same rule as every other collective knob.
+	budget    int64 // max total bytes; 0 disables clean caching (wb-only)
+	sieve     int64 // sieve block size; 0 = stripe size
+	readAhead int64 // extra fetch bytes past each miss; 0 = none
+
+	stats CacheStats
+}
+
+func newFileCache(fs *pfs.FS) *fileCache {
+	return &fileCache{fs: fs}
+}
+
+// fcAuxKey is the cache's slot in the store's Aux map — per-store
+// state, so the cache's lifetime is exactly the store's.
+const fcAuxKey = "mpiio.filecache"
+
+// sharedFileCache returns the store's shared cache, creating it (and
+// registering its flush-before-drain hook with FS.Close) on first use.
+func sharedFileCache(fs *pfs.FS) *fileCache {
+	return fs.Aux(fcAuxKey, func() any {
+		w := newFileCache(fs)
+		// The ordering guarantee on FS.Close: the cache drains through
+		// the still-open queues before Close drains them.
+		fs.AddCloseFlusher(w.FlushAll)
+		return w
+	}).(*fileCache)
+}
+
+// lookupFileCache returns the store's shared cache without creating one.
+func lookupFileCache(fs *pfs.FS) *fileCache {
+	if v := fs.AuxLookup(fcAuxKey); v != nil {
+		return v.(*fileCache)
+	}
+	return nil
+}
+
+// Configure installs the cache policy. Handles re-apply their knobs on
+// every resolve; every rank must use the same values (last writer
+// wins). Dropping the budget to 0 returns the cache to wb-only mode
+// and releases every clean extent.
+func (w *fileCache) Configure(budget, sieve, readAhead int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.budget, w.sieve, w.readAhead = budget, sieve, readAhead
+	if budget <= 0 {
+		keep := w.ext[:0]
+		for _, e := range w.ext {
+			if e.dirty {
+				keep = append(keep, e)
+			} else {
+				w.total -= int64(len(e.data))
+				w.stats.Evicted += int64(len(e.data))
+			}
+		}
+		w.ext = keep
+	}
+}
+
+// caching reports whether clean-extent caching (data sieving) is on.
+func (w *fileCache) caching() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.budget > 0
+}
+
+// sieveSize resolves the sieve block granularity.
+func (w *fileCache) sieveSize() int64 {
+	if w.sieve > 0 {
+		return w.sieve
+	}
+	return w.fs.StripeSize()
+}
+
+// Bytes returns the currently buffered dirty bytes.
+func (w *fileCache) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.dirty
+}
+
+// Cached returns the currently buffered total bytes (clean + dirty).
+func (w *fileCache) Cached() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.total
+}
+
+// Stats returns a snapshot of the cumulative cache accounting.
+func (w *fileCache) Stats() CacheStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Absorb merges the dirty run [off, off+len(p)) into the cache,
+// last-writer-wins where it overlaps existing extents: overlapping
+// clean ranges are punched (the write supersedes them), overlapping or
+// adjacent dirty extents merge. The cache may alias p (callers hand
+// over staging buffers they will not reuse). Callers grow the cache;
+// they must follow up with EnforceBudget.
+func (w *fileCache) Absorb(off int64, p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stats.Absorbed += int64(len(p))
+	w.gen++
+	w.clock++
+	end := off + int64(len(p))
+	w.punchLocked(off, end-off, true)
+	// [i, j) is the range of dirty extents overlapping or adjacent to
+	// the run. Clean extents cannot overlap it (just punched) but may
+	// touch its boundaries; they stay out of the merge.
+	i := sort.Search(len(w.ext), func(k int) bool { return w.ext[k].end() >= off })
+	if i < len(w.ext) && !w.ext[i].dirty && w.ext[i].end() == off {
+		i++ // left-adjacent clean extent: not merged
+	}
+	j := i
+	for j < len(w.ext) && w.ext[j].off <= end {
+		j++
+	}
+	if j > i && !w.ext[j-1].dirty && w.ext[j-1].off == end {
+		j-- // right-adjacent clean extent: not merged
+	}
+	if i == j {
+		// Disjoint from all dirty extents: plain insert.
+		w.insertAtLocked(i, &cext{off: off, data: p, dirty: true, use: w.clock})
+		w.dirty += int64(len(p))
+		w.total += int64(len(p))
+		return
+	}
+	lo, hi := off, end
+	if w.ext[i].off < lo {
+		lo = w.ext[i].off
+	}
+	if e := w.ext[j-1].end(); e > hi {
+		hi = e
+	}
+	merged := make([]byte, hi-lo)
+	var old int64
+	for _, e := range w.ext[i:j] {
+		copy(merged[e.off-lo:], e.data)
+		old += int64(len(e.data))
+	}
+	copy(merged[off-lo:], p) // new data last: last writer wins
+	w.ext = append(w.ext[:i], append([]*cext{{off: lo, data: merged, dirty: true, use: w.clock}}, w.ext[j:]...)...)
+	w.dirty += int64(len(merged)) - old
+	w.total += int64(len(merged)) - old
+}
+
+// insertAtLocked inserts e at position i of the sorted extent list.
+func (w *fileCache) insertAtLocked(i int, e *cext) {
+	w.ext = append(w.ext, nil)
+	copy(w.ext[i+1:], w.ext[i:])
+	w.ext[i] = e
+}
+
+// PunchOnce punches every run of a collective write's global union,
+// exactly once per collective: every rank calls it (in lockstep
+// program order, before its exchange phase) with the communicator
+// size, the FIRST arrival executes the punch, and later arrivals —
+// which may already have raced past other ranks' absorbs — are
+// no-ops; the nranks-th arrival resets the counter for the next
+// collective. Arrival counting needs no per-handle state, so handles
+// opened at different times on the same store stay correct. It relies
+// on collectives being serialized per file (every rank leaves
+// collective k through its agreement round before any enters k+1), so
+// arrivals of different collectives never interleave. The guard and
+// the punches form ONE critical section: a skipped rank may proceed
+// straight to its absorb, and the executed punch must be complete —
+// not in flight — by then, or it would destroy freshly absorbed
+// bytes.
+func (w *fileCache) PunchOnce(nranks int, runs []pfs.Run) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.arrivals == 0 {
+		for _, r := range runs {
+			w.punchLocked(r.Off, r.Len, false)
+		}
+	}
+	w.arrivals++
+	if w.arrivals >= nranks {
+		w.arrivals = 0
+	}
+}
+
+// Punch discards cached bytes in [off, off+n), clean and dirty alike:
+// extents fully inside are dropped, extents straddling a boundary are
+// trimmed or split. Used by collective writes (PunchOnce: the global
+// union is about to be re-absorbed or rewritten) and independent
+// writes (the file copy is about to become newer than the cache).
+func (w *fileCache) Punch(off, n int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.punchLocked(off, n, false)
+}
+
+// punchLocked removes [off, off+n) from the cached extents; cleanOnly
+// restricts it to clean extents (the absorb path, which merges dirty
+// overlaps itself). Untouched extents keep their identity (pointer),
+// which the flush paths rely on; trimmed remainders are new extents.
+func (w *fileCache) punchLocked(off, n int64, cleanOnly bool) {
+	if n <= 0 {
+		return
+	}
+	w.gen++
+	end := off + n
+	var out []*cext
+	for _, e := range w.ext {
+		if e.end() <= off || e.off >= end || (cleanOnly && e.dirty) {
+			out = append(out, e)
+			continue
+		}
+		sub := func(x int64) {
+			w.total -= x
+			if e.dirty {
+				w.dirty -= x
+			}
+		}
+		sub(int64(len(e.data)))
+		if e.off < off { // keep the left remainder
+			left := &cext{off: e.off, data: e.data[:off-e.off], dirty: e.dirty, use: e.use}
+			sub(-int64(len(left.data)))
+			out = append(out, left)
+		}
+		if e.end() > end { // keep the right remainder
+			right := &cext{off: end, data: e.data[end-e.off:], dirty: e.dirty, use: e.use}
+			sub(-int64(len(right.data)))
+			out = append(out, right)
+		}
+	}
+	w.ext = out
+}
+
+// pickDirty returns the dirty extents overlapping any of runs, by a
+// two-pointer merge over the two sorted lists (runs arrive sorted and
+// coalesced). Must be called with w.mu held.
+func (w *fileCache) pickDirty(runs []pfs.Run) []*cext {
+	var out []*cext
+	j := 0
+	for _, e := range w.ext {
+		if !e.dirty {
+			continue
+		}
+		for j < len(runs) && runs[j].Off+runs[j].Len <= e.off {
+			j++
+		}
+		if j < len(runs) && runs[j].Off < e.end() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// FlushAll writes every dirty extent back as one vectored flush sweep.
+// With clean caching on, the flushed extents stay in the cache marked
+// clean (a Sync leaves the cache warm); in wb-only mode they are
+// removed, as in PR 4. A cache with nothing dirty is a no-op.
+func (w *fileCache) FlushAll() error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	if w.budget > 0 {
+		victims := make([]*cext, 0, len(w.ext))
+		for _, e := range w.ext {
+			if e.dirty {
+				victims = append(victims, e)
+			}
+		}
+		return w.flushMarkCleanLocked(victims) // unlocks w.mu
+	}
+	ext := w.ext
+	w.ext = nil
+	w.dirty = 0
+	w.total = 0
+	if len(ext) > 0 {
+		w.stats.Flushes++
+	}
+	w.mu.Unlock()
+	return w.flushExtents(ext)
+}
+
+// FlushIntersecting writes back exactly the dirty extents that overlap
+// any of runs — the read-coherence sweep of wb-only mode. Extents
+// outside the queried ranges stay buffered. In wb-only mode the
+// flushed extents are removed, and holding flushMu for the whole sweep
+// means a reader whose coherence check races another flush blocks
+// until that flush's bytes are durable, instead of reading the store
+// in the removed-but-not-yet-written window. With clean caching on the
+// flushed extents stay, marked clean (no window exists to protect).
+func (w *fileCache) FlushIntersecting(runs []pfs.Run) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	victims := w.pickDirty(runs)
+	if len(victims) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	if w.budget > 0 {
+		return w.flushMarkCleanLocked(victims) // unlocks w.mu
+	}
+	flush := make([]*cext, 0, len(victims))
+	var keep []*cext
+	vi := 0
+	for _, e := range w.ext {
+		if vi < len(victims) && victims[vi] == e {
+			flush = append(flush, e)
+			w.dirty -= int64(len(e.data))
+			w.total -= int64(len(e.data))
+			vi++
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	w.ext = keep
+	w.stats.Flushes++
+	w.mu.Unlock()
+	return w.flushExtents(flush)
+}
+
+// flushMarkCleanLocked is the caching-mode flush: write the victim
+// extents back as one vectored sweep and mark them clean IN PLACE, so
+// the data never leaves the cache mid-flush (readers stay coherent
+// without taking flushMu). Entered with w.mu held (and flushMu held by
+// the caller); returns with both released... flushMu by the caller's
+// defer. A victim punched or re-absorbed during the sweep (a new
+// pointer replaced it) keeps its replacement's dirtiness — the
+// replacement flushes later.
+func (w *fileCache) flushMarkCleanLocked(victims []*cext) error {
+	if len(victims) == 0 {
+		w.mu.Unlock()
+		return nil
+	}
+	w.stats.Flushes++
+	snap := make([]*cext, len(victims))
+	copy(snap, victims)
+	w.mu.Unlock()
+	if err := w.flushExtents(snap); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	present := make(map[*cext]bool, len(w.ext))
+	for _, e := range w.ext {
+		present[e] = true
+	}
+	for _, e := range snap {
+		if present[e] && e.dirty {
+			e.dirty = false
+			w.dirty -= int64(len(e.data))
+		}
+	}
+	w.evictCleanLocked()
+	w.mu.Unlock()
+	return nil
+}
+
+// flushExtents issues one vectored FlushV covering the given extents
+// (sorted by offset on a copy; extent data is immutable once created,
+// so snapshots taken under mu stay valid without it).
+func (w *fileCache) flushExtents(ext []*cext) error {
+	if len(ext) == 0 {
+		return nil
+	}
+	sorted := make([]*cext, len(ext))
+	copy(sorted, ext)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+	runs := make([]pfs.Run, len(sorted))
+	var total int64
+	for i, e := range sorted {
+		runs[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
+		total += int64(len(e.data))
+	}
+	var buf []byte
+	if len(sorted) == 1 {
+		buf = sorted[0].data // single extent: no packing copy needed
+	} else {
+		buf = make([]byte, total)
+		var at int64
+		for _, e := range sorted {
+			copy(buf[at:], e.data)
+			at += int64(len(e.data))
+		}
+	}
+	_, err := w.fs.FlushV(runs, buf)
+	return err
+}
+
+// evictCleanLocked removes clean extents in LRU order until the cache
+// fits its budget (or only dirty extents remain): one sorted pass over
+// the clean extents and one slice rebuild, so a large over-budget
+// round costs O(n log n) rather than a min-scan per victim. Must be
+// called with w.mu held.
+func (w *fileCache) evictCleanLocked() {
+	if w.budget <= 0 || w.total <= w.budget {
+		return
+	}
+	clean := make([]*cext, 0, len(w.ext))
+	for _, e := range w.ext {
+		if !e.dirty {
+			clean = append(clean, e)
+		}
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i].use < clean[j].use })
+	drop := make(map[*cext]bool, len(clean))
+	for _, e := range clean {
+		if w.total <= w.budget {
+			break
+		}
+		n := int64(len(e.data))
+		w.total -= n
+		w.stats.Evicted += n
+		drop[e] = true
+	}
+	if len(drop) == 0 {
+		return
+	}
+	keep := w.ext[:0]
+	for _, e := range w.ext {
+		if !drop[e] {
+			keep = append(keep, e)
+		}
+	}
+	w.ext = keep
+}
+
+// EnforceBudget brings the cache back under its memory budget: clean
+// extents evict LRU-first; if the dirty bytes alone exceed the budget,
+// the least-recently-used dirty extents flush-on-evict as one vectored
+// FlushV sweep and then leave as clean. Growth paths (Absorb sequences,
+// ReadThrough inserts) call it after releasing mu.
+func (w *fileCache) EnforceBudget() error {
+	w.mu.Lock()
+	if w.budget <= 0 || w.total <= w.budget {
+		w.mu.Unlock()
+		return nil
+	}
+	w.evictCleanLocked()
+	over := w.total > w.budget
+	w.mu.Unlock()
+	if !over {
+		return nil
+	}
+	// Dirty bytes alone exceed the budget: flush-on-evict.
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	var dirtyExts []*cext
+	for _, e := range w.ext {
+		if e.dirty {
+			dirtyExts = append(dirtyExts, e)
+		}
+	}
+	sort.Slice(dirtyExts, func(i, j int) bool { return dirtyExts[i].use < dirtyExts[j].use })
+	var victims []*cext
+	var vbytes int64
+	for _, e := range dirtyExts {
+		if w.total-vbytes <= w.budget {
+			break
+		}
+		victims = append(victims, e)
+		vbytes += int64(len(e.data))
+	}
+	w.stats.FlushEvicted += vbytes
+	return w.flushMarkCleanLocked(victims) // unlocks w.mu; evicts the marked-clean victims
+}
+
+// hole is one uncached sub-range of a ReadThrough request and its
+// position in the caller's packed buffer.
+type hole struct {
+	off, n, bufAt int64
+}
+
+// ReadThrough serves a vectored read (runs packed back-to-back into
+// buf) through the cache: bytes covered by cached extents — clean or
+// dirty — copy straight from memory, and the uncovered holes are
+// fetched from the store as ONE vectored SieveReadV of sieve-aligned
+// blocks (plus the read-ahead extension), which then populate the
+// cache as clean extents for the next reader. Requires clean caching
+// (budget > 0); File.ReadV and the collective aggregateRead route
+// through here when it is on.
+func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
+	// Phase 1: serve what the cache covers, collect the holes.
+	w.mu.Lock()
+	genStart := w.gen
+	w.clock++
+	stamp := w.clock
+	var holes []hole
+	var at, hitBytes int64
+	for _, r := range runs {
+		rEnd := r.Off + r.Len
+		pos := r.Off
+		k := sort.Search(len(w.ext), func(i int) bool { return w.ext[i].end() > r.Off })
+		for k < len(w.ext) && w.ext[k].off < rEnd {
+			e := w.ext[k]
+			if e.off > pos {
+				holes = append(holes, hole{off: pos, n: e.off - pos, bufAt: at + (pos - r.Off)})
+				pos = e.off
+			}
+			o := e.end()
+			if o > rEnd {
+				o = rEnd
+			}
+			copy(buf[at+(pos-r.Off):at+(o-r.Off)], e.data[pos-e.off:o-e.off])
+			hitBytes += o - pos
+			e.use = stamp
+			pos = o
+			k++
+		}
+		if pos < rEnd {
+			holes = append(holes, hole{off: pos, n: rEnd - pos, bufAt: at + (pos - r.Off)})
+		}
+		at += r.Len
+	}
+	w.stats.HitBytes += hitBytes
+	if len(holes) == 0 {
+		w.stats.Hits++
+		w.mu.Unlock()
+		return nil
+	}
+	w.stats.Misses++
+	for _, h := range holes {
+		w.stats.MissBytes += h.n
+	}
+	sieve := w.sieveSize()
+	ra := w.readAhead
+	// The fetch plan: the holes' sieve-aligned covering blocks plus the
+	// read-ahead extension, CLIPPED against what the cache already
+	// holds — block rounding and read-ahead must never re-read bytes a
+	// neighboring extent (or a concurrent aggregator's domain) already
+	// brought in. Built under mu so the clip and the holes see the same
+	// coverage; every hole is uncovered and therefore lies inside
+	// exactly one clipped fetch run.
+	blocks := make([]pfs.Run, 0, len(holes)+1)
+	for _, h := range holes {
+		blocks = append(blocks, extent.Align(pfs.Run{Off: h.off, Len: h.n}, sieve))
+	}
+	if ra > 0 {
+		// Read-ahead: extend past the last fetched block by ra bytes,
+		// rounded up to whole sieve blocks, so a forward sectioned scan
+		// finds its next block already cached.
+		last := blocks[len(blocks)-1]
+		ahead := ((ra + sieve - 1) / sieve) * sieve
+		blocks = append(blocks, pfs.Run{Off: last.Off + last.Len, Len: ahead})
+	}
+	cover := make([]pfs.Run, len(w.ext))
+	for i, e := range w.ext {
+		cover[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
+	}
+	var fetch []pfs.Run
+	for _, b := range pfs.Coalesce(blocks) {
+		fetch = append(fetch, extent.Holes(b, cover)...)
+	}
+	w.mu.Unlock()
+
+	// Phase 2: fetch the plan in one vectored sieve read, without
+	// holding mu (the store sleeps RealTime service time; concurrent
+	// cache users must not wait on it).
+	starts := make([]int64, len(fetch))
+	var ftotal int64
+	for i, r := range fetch {
+		starts[i] = ftotal
+		ftotal += r.Len
+	}
+	temp := make([]byte, ftotal)
+	if _, err := w.fs.SieveReadV(fetch, temp); err != nil {
+		return err
+	}
+	// tempAt maps a file offset inside the fetched blocks to its packed
+	// position in temp (every hole lies within one coalesced block).
+	tempAt := func(off int64) int64 {
+		i := sort.Search(len(fetch), func(k int) bool { return fetch[k].Off > off }) - 1
+		return starts[i] + (off - fetch[i].Off)
+	}
+	for _, h := range holes {
+		o := tempAt(h.off)
+		copy(buf[h.bufAt:h.bufAt+h.n], temp[o:o+h.n])
+	}
+
+	// Phase 3: populate the cache with the fetched blocks, filling only
+	// the gaps between existing extents (which are either identical
+	// clean bytes or NEWER dirty bytes — they always win). If any punch
+	// or absorb landed during the fetch, the store bytes we hold may
+	// predate a write: serve the caller (a racing unsynced conflict is
+	// undefined, as in MPI) but do not let them into the cache.
+	w.mu.Lock()
+	w.stats.SieveFetched += ftotal
+	if w.gen != genStart {
+		w.mu.Unlock()
+		return nil
+	}
+	cur := make([]pfs.Run, len(w.ext))
+	for i, e := range w.ext {
+		cur[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
+	}
+	// Demanded bytes end here; fetched blocks past it are speculative
+	// read-ahead and insert one LRU tick colder, so speculation never
+	// evicts the data the caller just asked for.
+	reqEnd := holes[len(holes)-1].off + holes[len(holes)-1].n
+	for _, fr := range fetch {
+		for _, g := range extent.Holes(fr, cur) {
+			// Insert split at sieve-block boundaries: the block is the
+			// cache's eviction granule, so one large fetch never becomes
+			// a single monolithic extent the LRU can only drop whole.
+			for g.Len > 0 {
+				n := ((g.Off/sieve)+1)*sieve - g.Off
+				if n > g.Len {
+					n = g.Len
+				}
+				data := make([]byte, n)
+				o := tempAt(g.Off)
+				copy(data, temp[o:o+n])
+				use := stamp
+				if g.Off >= reqEnd {
+					use = stamp - 1
+				}
+				i := sort.Search(len(w.ext), func(k int) bool { return w.ext[k].off > g.Off })
+				w.insertAtLocked(i, &cext{off: g.Off, data: data, use: use})
+				w.total += n
+				g.Off += n
+				g.Len -= n
+			}
+		}
+	}
+	w.evictCleanLocked()
+	w.mu.Unlock()
+	return nil
+}

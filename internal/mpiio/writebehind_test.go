@@ -9,14 +9,14 @@ import (
 	"drxmp/internal/pfs"
 )
 
-func wbCacheForTest(t *testing.T) (*pfs.FS, *writeBehind) {
+func wbCacheForTest(t *testing.T) (*pfs.FS, *fileCache) {
 	t.Helper()
 	fs, err := pfs.Create("wb", pfs.Options{Servers: 2, StripeSize: 128})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { fs.Close() })
-	return fs, newWriteBehind(fs)
+	return fs, newFileCache(fs)
 }
 
 func fill(n int, v byte) []byte {
@@ -116,8 +116,8 @@ func TestWriteBehindFlushIntersecting(t *testing.T) {
 	if fs.Stats().FlushBytes() != 192 {
 		t.Fatalf("FlushBytes after FlushAll = %d, want 192", fs.Stats().FlushBytes())
 	}
-	if ab, fl := w.Stats(); ab != 192 || fl != 2 {
-		t.Fatalf("cache stats = (%d absorbed, %d flushes), want (192, 2)", ab, fl)
+	if st := w.Stats(); st.Absorbed != 192 || st.Flushes != 2 {
+		t.Fatalf("cache stats = (%d absorbed, %d flushes), want (192, 2)", st.Absorbed, st.Flushes)
 	}
 }
 

@@ -6,13 +6,12 @@ import (
 	"testing"
 )
 
-// TestCollectiveCoalesceProperty is the property-based check of run
-// coalescing: for random run lists (including empty and overlapping
-// runs), the coalesced list is sorted, non-overlapping, never longer
-// than the input, covers exactly the same bytes, and replaying the
-// coalesced writes produces a byte-identical file to replaying the
-// originals.
-func TestCollectiveCoalesceProperty(t *testing.T) {
+// TestCollectiveCoalesceReplay is the store-level half of the coalesce
+// property suite (the pure list properties live with the shared
+// implementation in internal/extent): for random run lists, replaying
+// the coalesced writes against a striped store produces a
+// byte-identical file to replaying the originals.
+func TestCollectiveCoalesceReplay(t *testing.T) {
 	const space = int64(600)
 	rng := rand.New(rand.NewSource(11))
 	// Position-dependent payload: any byte the replay writes is
@@ -21,102 +20,37 @@ func TestCollectiveCoalesceProperty(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i%251) + 1
 	}
-	for trial := 0; trial < 300; trial++ {
+	replay := func(rs []Run) []byte {
+		fs, err := Create("coalesce", Options{Servers: 3, StripeSize: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer fs.Close()
+		for _, r := range rs {
+			if r.Len == 0 {
+				continue
+			}
+			if _, err := fs.WriteAt(payload[r.Off:r.Off+r.Len], r.Off); err != nil {
+				t.Fatal(err)
+			}
+		}
+		img := make([]byte, space)
+		if _, err := fs.ReadAt(img, 0); err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	for trial := 0; trial < 100; trial++ {
 		runs := make([]Run, rng.Intn(13))
 		for i := range runs {
 			runs[i] = Run{Off: int64(rng.Intn(500)), Len: int64(rng.Intn(61))} // Len 0 allowed
 		}
 		out := Coalesce(runs)
-
 		if len(out) > len(runs) {
 			t.Fatalf("trial %d: coalesced %d runs into %d", trial, len(runs), len(out))
 		}
-		covered := make([]bool, space)
-		var inputBytes int
-		for _, r := range runs {
-			for b := r.Off; b < r.Off+r.Len; b++ {
-				if !covered[b] {
-					covered[b] = true
-					inputBytes++
-				}
-			}
-		}
-		var outBytes int64
-		for i, r := range out {
-			if r.Len <= 0 {
-				t.Fatalf("trial %d: empty coalesced run %+v", trial, r)
-			}
-			if i > 0 && r.Off <= out[i-1].Off+out[i-1].Len {
-				// <= catches overlap AND un-merged adjacency.
-				t.Fatalf("trial %d: runs %d,%d not sorted/disjoint: %+v %+v",
-					trial, i-1, i, out[i-1], r)
-			}
-			for b := r.Off; b < r.Off+r.Len; b++ {
-				if !covered[b] {
-					t.Fatalf("trial %d: coalesced run %+v covers byte %d the input never touched", trial, r, b)
-				}
-			}
-			outBytes += r.Len
-		}
-		if int64(inputBytes) != outBytes {
-			t.Fatalf("trial %d: input covers %d bytes, coalesced %d", trial, inputBytes, outBytes)
-		}
-
-		// Replay equality: write the original runs to one file and the
-		// coalesced runs to another, from the same position-indexed
-		// payload; the files must match byte-for-byte.
-		replay := func(rs []Run) []byte {
-			fs, err := Create("coalesce", Options{Servers: 3, StripeSize: 32})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer fs.Close()
-			for _, r := range rs {
-				if r.Len == 0 {
-					continue
-				}
-				if _, err := fs.WriteAt(payload[r.Off:r.Off+r.Len], r.Off); err != nil {
-					t.Fatal(err)
-				}
-			}
-			img := make([]byte, space)
-			if _, err := fs.ReadAt(img, 0); err != nil {
-				t.Fatal(err)
-			}
-			return img
-		}
 		if !bytes.Equal(replay(runs), replay(out)) {
 			t.Fatalf("trial %d: coalesced replay diverges from original replay", trial)
-		}
-	}
-}
-
-// TestCollectiveCoalesceFixed pins small hand-checked cases.
-func TestCollectiveCoalesceFixed(t *testing.T) {
-	cases := []struct {
-		name string
-		in   []Run
-		want []Run
-	}{
-		{"empty", nil, nil},
-		{"zero-length-dropped", []Run{{Off: 5, Len: 0}}, nil},
-		{"adjacent-merge", []Run{{0, 4}, {4, 4}}, []Run{{0, 8}}},
-		{"gap-kept", []Run{{0, 4}, {5, 4}}, []Run{{0, 4}, {5, 4}}},
-		{"overlap-merge", []Run{{0, 6}, {4, 6}}, []Run{{0, 10}}},
-		{"contained", []Run{{0, 10}, {2, 3}}, []Run{{0, 10}}},
-		{"unsorted", []Run{{8, 2}, {0, 2}, {2, 6}}, []Run{{0, 10}}},
-	}
-	for _, tc := range cases {
-		got := Coalesce(tc.in)
-		if len(got) != len(tc.want) {
-			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
-			continue
-		}
-		for i := range got {
-			if got[i] != tc.want[i] {
-				t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
-				break
-			}
 		}
 	}
 }

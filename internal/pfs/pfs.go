@@ -23,10 +23,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"drxmp/internal/extent"
 )
 
 // Backend selects where stripe data lives.
@@ -115,6 +116,9 @@ type Options struct {
 	// whatever backlog is queued when it starts, so shallow queues pay
 	// no reordering delay and deep queues merge aggressively. Positive
 	// values fix the window (32 was the pre-knob hard-coded value).
+	// A straggler server (Cost.SlowFactor > 1) additionally scales its
+	// own window by its slow factor — see server.reorderWindow — so
+	// the server where requests pile up merges the most per sweep.
 	// Either way the window is frozen before the sweep, which bounds
 	// how long any request can be bypassed (no starvation). Ignored
 	// under FIFO.
@@ -146,6 +150,13 @@ type ServerStats struct {
 	// deferred flush traffic.
 	FlushWrites int64
 	FlushBytes  int64
+	// SieveReads counts the read services that carried data-sieving
+	// fetch bytes (the mpiio file cache's SieveReadV traffic), and
+	// SieveBytes the bytes themselves — the read-side mirror of the
+	// flush attribution, so the E20 tables split sieve-block fetches
+	// from ordinary reads.
+	SieveReads int64
+	SieveBytes int64
 	// ReqSize is the per-request transfer-size histogram and SvcTime
 	// the per-request service-latency histogram (microseconds), both in
 	// power-of-two buckets (see Hist).
@@ -164,6 +175,24 @@ func (s Stats) Requests() int64 {
 	var n int64
 	for _, ps := range s.PerServer {
 		n += ps.Reads + ps.Writes
+	}
+	return n
+}
+
+// Reads returns total read requests across servers.
+func (s Stats) Reads() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.Reads
+	}
+	return n
+}
+
+// BytesRead returns total bytes read across servers.
+func (s Stats) BytesRead() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.BytesRead
 	}
 	return n
 }
@@ -225,6 +254,24 @@ func (s Stats) FlushBytes() int64 {
 	return n
 }
 
+// SieveReads returns total sieve-fetch read services across servers.
+func (s Stats) SieveReads() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.SieveReads
+	}
+	return n
+}
+
+// SieveBytes returns total sieve-fetch bytes across servers.
+func (s Stats) SieveBytes() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.SieveBytes
+	}
+	return n
+}
+
 // ReqSizes returns the request-size histogram merged across servers.
 func (s Stats) ReqSizes() Hist {
 	var h Hist
@@ -261,6 +308,8 @@ func (s Stats) Sub(t Stats) Stats {
 			Busy:         a.Busy - b.Busy,
 			FlushWrites:  a.FlushWrites - b.FlushWrites,
 			FlushBytes:   a.FlushBytes - b.FlushBytes,
+			SieveReads:   a.SieveReads - b.SieveReads,
+			SieveBytes:   a.SieveBytes - b.SieveBytes,
 			ReqSize:      a.ReqSize.Sub(b.ReqSize),
 			SvcTime:      a.SvcTime.Sub(b.SvcTime),
 		}
@@ -329,6 +378,13 @@ func (sv *server) attrFlush(n int64) {
 	sv.stats.FlushBytes += n
 }
 
+// attrSieve attributes n sieve-fetch bytes to one read service. Must
+// be called with sv.mu held, after the service's charge.
+func (sv *server) attrSieve(n int64) {
+	sv.stats.SieveReads++
+	sv.stats.SieveBytes += n
+}
+
 // storeLocked moves p into the backend at off and grows the per-server
 // size, with no accounting. Must be called with sv.mu held.
 func (sv *server) storeLocked(p []byte, off int64) error {
@@ -385,10 +441,13 @@ func (sv *server) writeAt(p []byte, off int64, flush bool) (time.Duration, error
 	return d, sv.storeLocked(p, off)
 }
 
-func (sv *server) readAt(p []byte, off int64) (time.Duration, error) {
+func (sv *server) readAt(p []byte, off int64, sieve bool) (time.Duration, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	d := sv.charge(int64(len(p)), off, false)
+	if sieve {
+		sv.attrSieve(int64(len(p)))
+	}
 	return d, sv.loadLocked(p, off)
 }
 
@@ -594,42 +653,16 @@ func (fs *FS) ReadAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
-// Run is one contiguous byte extent of a vectored operation.
-type Run struct {
-	Off int64
-	Len int64
-}
+// Run is one contiguous byte extent of a vectored operation. It is an
+// alias of the shared internal/extent type, so run lists flow between
+// the layers (pfs vectored calls, the mpiio file cache's sieve plans)
+// without conversion.
+type Run = extent.Run
 
 // Coalesce merges a run list into the minimal sorted, non-overlapping
-// extent set covering exactly the same bytes: runs are sorted by offset
-// (on a copy), empty runs dropped, and adjacent or overlapping extents
-// merged. The result never has more runs than the input.
-func Coalesce(runs []Run) []Run {
-	var out []Run
-	for _, r := range runs {
-		if r.Len > 0 {
-			out = append(out, r)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Off != out[j].Off {
-			return out[i].Off < out[j].Off
-		}
-		return out[i].Len > out[j].Len
-	})
-	w := 0
-	for _, r := range out {
-		if w > 0 && r.Off <= out[w-1].Off+out[w-1].Len {
-			if end := r.Off + r.Len; end > out[w-1].Off+out[w-1].Len {
-				out[w-1].Len = end - out[w-1].Off
-			}
-			continue
-		}
-		out[w] = r
-		w++
-	}
-	return out[:w]
-}
+// extent set covering exactly the same bytes (see extent.Coalesce, the
+// shared implementation).
+func Coalesce(runs []Run) []Run { return extent.Coalesce(runs) }
 
 // vectored builds the full segment list of a vectored operation. It
 // stops at the first run that does not fit buf, returning the segments
@@ -659,7 +692,25 @@ func (fs *FS) vectored(runs []Run, buf []byte, write bool) ([]ioSeg, int64, erro
 // vector is queued at once, so segments bound for different servers
 // interleave service time instead of serializing run-by-run.
 func (fs *FS) ReadV(runs []Run, buf []byte) (int64, error) {
+	return fs.readV(runs, buf, false)
+}
+
+// SieveReadV is ReadV with sieve-fetch attribution: the serviced bytes
+// are additionally counted in ServerStats.SieveReads/SieveBytes, so
+// benchmarks can split data-sieving block fetches from ordinary read
+// dispatch. The mpiio file cache sends its sieve-aligned covering
+// reads through this path.
+func (fs *FS) SieveReadV(runs []Run, buf []byte) (int64, error) {
+	return fs.readV(runs, buf, true)
+}
+
+func (fs *FS) readV(runs []Run, buf []byte, sieve bool) (int64, error) {
 	segs, at, verr := fs.vectored(runs, buf, false)
+	if sieve {
+		for i := range segs {
+			segs[i].sieve = true
+		}
+	}
 	done, err := fs.dispatch(segs)
 	if err != nil {
 		return done, err

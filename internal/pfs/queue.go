@@ -19,6 +19,7 @@
 package pfs
 
 import (
+	"math"
 	"sort"
 	"time"
 )
@@ -31,13 +32,15 @@ const queueDepth = 64
 // ioSeg is one per-server segment of a logical operation, pre-resolved
 // to a server-local offset and a sub-slice of the caller's buffer.
 // flush marks write segments that belong to a write-behind flush sweep
-// (FlushV), for stats attribution.
+// (FlushV) and sieve marks read segments that belong to a data-sieving
+// block fetch (SieveReadV), for stats attribution.
 type ioSeg struct {
 	server int
 	off    int64 // server-local offset
 	p      []byte
 	write  bool
 	flush  bool
+	sieve  bool
 }
 
 // ioReq is an ioSeg in flight: submission index for deterministic
@@ -94,7 +97,7 @@ func (sv *server) serve(ch chan *ioReq) {
 		if req.seg.write {
 			d, req.err = sv.writeAt(req.seg.p, req.seg.off, req.seg.flush)
 		} else {
-			d, req.err = sv.readAt(req.seg.p, req.seg.off)
+			d, req.err = sv.readAt(req.seg.p, req.seg.off, req.seg.sieve)
 		}
 		if sv.cost.RealTime && d > 0 {
 			time.Sleep(d)
@@ -120,10 +123,7 @@ func (sv *server) serveElevator(ch chan *ioReq) {
 		if !ok {
 			return
 		}
-		window := sv.window
-		if window <= 0 {
-			window = 1 + len(ch) // auto: freeze the current backlog
-		}
+		window := sv.reorderWindow(len(ch))
 		batch := []*ioReq{req}
 		open := true
 	drain:
@@ -144,6 +144,27 @@ func (sv *server) serveElevator(ch chan *ioReq) {
 			return
 		}
 	}
+}
+
+// reorderWindow resolves the elevator's effective reorder window for a
+// sweep starting with `backlog` requests already queued behind the one
+// just received. The base window is Options.WindowSize when positive,
+// or 1+backlog (freeze the current backlog) when auto. A straggler
+// server (CostModel.SlowFactor > 1) scales its window by that factor,
+// rounded up: requests pile up at the slow server while its peers
+// drain, and a wider frozen window lets each of its sweeps merge more
+// adjacent segments, so the straggler pays its seek surcharge fewer
+// times per byte. Nominal servers (factor <= 1) keep the base window,
+// so the tuning never changes single-speed configurations.
+func (sv *server) reorderWindow(backlog int) int {
+	w := sv.window
+	if w <= 0 {
+		w = 1 + backlog // auto: freeze the current backlog
+	}
+	if sv.slow > 1 {
+		w = int(math.Ceil(float64(w) * sv.slow))
+	}
+	return w
 }
 
 // serviceSweep services one frozen batch as a single ascending C-SCAN
@@ -185,7 +206,7 @@ func (sv *server) serviceRun(reqs []*ioReq) time.Duration {
 		total += int64(len(r.seg.p))
 	}
 	d := sv.charge(total, reqs[0].seg.off, reqs[0].seg.write)
-	var flushed int64
+	var flushed, sieved int64
 	for _, r := range reqs {
 		if r.seg.write {
 			r.err = sv.storeLocked(r.seg.p, r.seg.off)
@@ -194,10 +215,16 @@ func (sv *server) serviceRun(reqs []*ioReq) time.Duration {
 			}
 		} else {
 			r.err = sv.loadLocked(r.seg.p, r.seg.off)
+			if r.seg.sieve {
+				sieved += int64(len(r.seg.p))
+			}
 		}
 	}
 	if flushed > 0 {
 		sv.attrFlush(flushed)
+	}
+	if sieved > 0 {
+		sv.attrSieve(sieved)
 	}
 	return d
 }
@@ -306,7 +333,7 @@ func (fs *FS) dispatchSync(segs []ioSeg) (int64, error) {
 			if r.seg.write {
 				d, r.err = sv.writeAt(r.seg.p, r.seg.off, r.seg.flush)
 			} else {
-				d, r.err = sv.readAt(r.seg.p, r.seg.off)
+				d, r.err = sv.readAt(r.seg.p, r.seg.off, r.seg.sieve)
 			}
 			if sv.cost.RealTime && d > 0 {
 				time.Sleep(d)

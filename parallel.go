@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"drxmp/internal/par"
+	"drxmp/internal/pfs"
 )
 
 // This file is the parallel half of the independent section-I/O path:
@@ -80,6 +81,18 @@ func (f *File) sectionIOParallel(runs []ioRun, scratch, user []byte, write bool,
 	return f.readGroupsAhead(groups, scratch, user, workers)
 }
 
+// readGroup fetches one group's extent into its scratch region: with
+// read caching on it goes through the unified cache (covered stripes
+// from memory, holes sieve-fetched — the cache is safe for concurrent
+// workers), otherwise straight from the store.
+func (f *File) readGroup(g *runGroup, scratch []byte) error {
+	if f.cacheActive() {
+		return f.io.ReadV([]pfs.Run{{Off: g.fileOff, Len: g.bytes}}, scratch)
+	}
+	_, err := f.fs.ReadAt(scratch, g.fileOff)
+	return err
+}
+
 // readGroupsAhead reads run groups with explicit read-ahead: up to
 // `workers` extents are in flight while the calling goroutine scatters
 // every group that has already landed, so the next groups' pages are
@@ -109,7 +122,7 @@ func (f *File) readGroupsAhead(groups []runGroup, scratch, user []byte, workers 
 					return // stop dispatching reads after the first error
 				}
 				g := &groups[i]
-				_, err := f.fs.ReadAt(scratch[g.at:g.at+g.bytes], g.fileOff)
+				err := f.readGroup(g, scratch[g.at:g.at+g.bytes])
 				if err != nil {
 					failed.Store(true)
 				}
