@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
 GO ?= go
 
-.PHONY: all build vet fmt test race race-collective bench bench-collective ci
+.PHONY: all build vet fmt test race race-collective race-serve bench bench-collective ci
 
 all: build
 
@@ -29,6 +29,13 @@ race:
 race-collective:
 	$(GO) test -race -run 'Collective|WriteBehind|CloseFlusher|ReadCache|FileCache' . ./internal/pfs ./internal/mpiio
 
+# Serving-tier e2e under the race detector: the HTTP front end's
+# admission control, cross-client coalescing and single-flight fills
+# are all cross-goroutine by construction (drxmp_serve_diff_test.go's
+# 32-client cold burst, internal/serve unit suites).
+race-serve:
+	$(GO) test -race -run 'Serve|Admission|Coalescer|SingleFlight' . ./internal/serve ./internal/exp
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -37,11 +44,12 @@ bench:
 # scheduling, write-behind, and the read-cache warm/no-cache pair),
 # plus the BENCH_collective.json artifact (MB/s + seeks for FIFO vs
 # elevator, fixed vs adaptive cb_nodes, the E19 write-behind policy
-# rows, and the E20 read-cache no-cache/cold/warm rows) that tracks
-# the perf trajectory across PRs.
+# rows, the E20 read-cache no-cache/cold/warm rows, and the ServeBench
+# serving-tier rows: requests/s, coalesce ratio, single-flight hit
+# rate) that tracks the perf trajectory across PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json
 	@cat BENCH_collective.json
 
-ci: build vet fmt test race race-collective bench bench-collective
+ci: build vet fmt test race race-collective race-serve bench bench-collective

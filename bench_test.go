@@ -150,8 +150,8 @@ func sectionBench(b *testing.B, parallelism int, write bool) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "bench-sec", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
-			FS:          pfs.Options{Servers: 8, StripeSize: 32 << 10, Cost: cost},
-			Parallelism: parallelism,
+			FS:     pfs.Options{Servers: 8, StripeSize: 32 << 10, Cost: cost},
+			Tuning: drxmp.Tuning{Parallelism: parallelism},
 		})
 		if err != nil {
 			return err

@@ -59,7 +59,7 @@ func BenchmarkCollectiveScheduler(b *testing.B) {
 						FS: pfs.Options{
 							Servers: servers, StripeSize: stripe, Cost: cost, Scheduler: cfg.sched,
 						},
-						CollectiveParallelism: 32,
+						Tuning: drxmp.Tuning{CollectiveParallelism: 32},
 					})
 					if err != nil {
 						return err
@@ -144,8 +144,8 @@ func BenchmarkCollective(b *testing.B) {
 				err := cluster.Run(ranks, func(c *cluster.Comm) error {
 					f, err := drxmp.Create(c, fmt.Sprintf("bc-%s-%s", op, cfg.name), drxmp.Options{
 						DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
-						FS:                    pfs.Options{Servers: servers, StripeSize: stripe, Cost: cost},
-						CollectiveParallelism: cfg.workers,
+						FS:     pfs.Options{Servers: servers, StripeSize: stripe, Cost: cost},
+						Tuning: drxmp.Tuning{CollectiveParallelism: cfg.workers},
 					})
 					if err != nil {
 						return err
@@ -230,8 +230,10 @@ func BenchmarkCollectiveReadCache(b *testing.B) {
 						Servers: servers, StripeSize: stripe, Cost: cost,
 						Scheduler: pfs.Elevator,
 					},
-					CollectiveParallelism: 8,
-					CacheBytes:            cfg.cache,
+					Tuning: drxmp.Tuning{
+						CollectiveParallelism: 8,
+						CacheBytes:            cfg.cache,
+					},
 				})
 				if err != nil {
 					return err
@@ -335,8 +337,10 @@ func BenchmarkCollectiveWriteBehind(b *testing.B) {
 						Servers: servers, StripeSize: stripe, Cost: cost,
 						Scheduler: pfs.Elevator,
 					},
-					CollectiveParallelism: 8,
-					WriteBehindBytes:      cfg.wb,
+					Tuning: drxmp.Tuning{
+						CollectiveParallelism: 8,
+						WriteBehindBytes:      cfg.wb,
+					},
 				})
 				if err != nil {
 					return err

@@ -69,23 +69,17 @@ const (
 // NewBox builds a half-open box [lo, hi).
 func NewBox(lo, hi []int) Box { return grid.NewBox(lo, hi) }
 
-// Options configures Create.
-type Options struct {
-	// DType is the element type (required).
-	DType DType
-	// ChunkShape is the chunk shape in elements (required).
-	ChunkShape []int
-	// Bounds is the initial element bounds (required).
-	Bounds []int
-	// Order is the within-chunk element order (default RowMajor).
-	Order Order
-	// FS configures the backing parallel file system (zero value: one
-	// in-memory server).
-	FS pfs.Options
-	// Decomp selects the zone decomposition (default BLOCK).
-	Decomp zone.Kind
-	// CyclicBlock is the BLOCK_CYCLIC(k) block size (default 1).
-	CyclicBlock int
+// ErrBadOptions is the typed validation error of Create, OpenWith and
+// SetTuning: every rejected option wraps it, so callers (and the
+// serving tier mapping tenant knobs onto files) can errors.Is instead
+// of string-matching.
+var ErrBadOptions = errors.New("drxmp: bad options")
+
+// Tuning is the shared performance-knob block of Options and
+// OpenOptions — everything that shapes HOW bytes move, none of WHAT
+// they are. The zero value is a valid default for every field. A
+// tenant's knobs apply atomically after open through File.SetTuning.
+type Tuning struct {
 	// Parallelism bounds the worker goroutines used per rank for
 	// independent section I/O and one-sided section transfers: 0 (the
 	// default) selects GOMAXPROCS, negative forces the serial path, and
@@ -143,6 +137,61 @@ type Options struct {
 	ReadAheadBytes int64
 }
 
+// validate rejects knob values with no defined meaning. Negative
+// Parallelism/CollectiveParallelism (serial), CBNodes (one aggregator
+// per rank) and WriteBehindBytes (unbounded buffering) are meaningful
+// and stay legal.
+func (t Tuning) validate() error {
+	if t.CacheBytes < 0 {
+		return fmt.Errorf("%w: negative CacheBytes %d", ErrBadOptions, t.CacheBytes)
+	}
+	if t.ReadAheadBytes < 0 {
+		return fmt.Errorf("%w: negative ReadAheadBytes %d", ErrBadOptions, t.ReadAheadBytes)
+	}
+	return nil
+}
+
+// Options configures Create.
+type Options struct {
+	// DType is the element type (required).
+	DType DType
+	// ChunkShape is the chunk shape in elements (required).
+	ChunkShape []int
+	// Bounds is the initial element bounds (required).
+	Bounds []int
+	// Order is the within-chunk element order (default RowMajor).
+	Order Order
+	// FS configures the backing parallel file system (zero value: one
+	// in-memory server).
+	FS pfs.Options
+	// Decomp selects the zone decomposition (default BLOCK).
+	Decomp zone.Kind
+	// CyclicBlock is the BLOCK_CYCLIC(k) block size (default 1;
+	// negative is rejected).
+	CyclicBlock int
+	// Tuning carries the performance knobs (worker bounds, aggregator
+	// count, write-behind, cache budget, read-ahead). Every rank must
+	// pass identical values.
+	Tuning
+}
+
+// OpenOptions configures OpenWith. Unlike the legacy positional Open,
+// it can set every tuning knob at open time, and its shape mirrors
+// Options so create-vs-open call sites stay symmetric.
+type OpenOptions struct {
+	// FS configures the backing parallel file system. The backend is
+	// forced to Disk (only disk-backed arrays can be re-opened) and a
+	// zero Dir defaults to the array path's directory.
+	FS pfs.Options
+	// Decomp selects the zone decomposition (default BLOCK).
+	Decomp zone.Kind
+	// CyclicBlock is the BLOCK_CYCLIC(k) block size (default 1;
+	// negative is rejected).
+	CyclicBlock int
+	// Tuning carries the performance knobs, as in Options.
+	Tuning
+}
+
 // File is one process's handle on a shared extendible array file. All
 // processes of the communicator hold a replica of the metadata; methods
 // marked collective must be called by every process.
@@ -196,13 +245,20 @@ func shareFS(c *cluster.Comm, mk func() (*pfs.FS, error)) (*pfs.FS, error) {
 }
 
 // Create collectively creates a new extendible array (DRXMP_Init of the
-// paper). Every rank must pass identical options.
+// paper). Every rank must pass identical options. Validation failures
+// wrap ErrBadOptions.
 func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 	if opts.Order != RowMajor && opts.Order != ColMajor {
-		return nil, fmt.Errorf("drxmp: invalid order %v", opts.Order)
+		return nil, fmt.Errorf("%w: invalid order %v", ErrBadOptions, opts.Order)
 	}
-	if opts.CyclicBlock <= 0 {
+	if opts.CyclicBlock < 0 {
+		return nil, fmt.Errorf("%w: negative CyclicBlock %d", ErrBadOptions, opts.CyclicBlock)
+	}
+	if opts.CyclicBlock == 0 {
 		opts.CyclicBlock = 1
+	}
+	if err := opts.Tuning.validate(); err != nil {
+		return nil, err
 	}
 	// Rank 0 builds the metadata; everyone receives the encoded replica
 	// (identical construction everywhere would also work — the paper
@@ -252,26 +308,47 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 		diskBacked:  fsOpts.Backend == pfs.Disk,
 		par:         opts.Parallelism,
 	}
-	f.io.Parallelism = opts.CollectiveParallelism
-	f.io.CBNodes = opts.CBNodes
-	f.io.WriteBehind = opts.WriteBehindBytes
-	f.io.CacheBytes = opts.CacheBytes
-	f.io.ReadAhead = opts.ReadAheadBytes
-	if err := f.persistMeta(); err != nil {
+	f.applyTuning(opts.Tuning)
+	// Agree on the metadata-persist outcome before any rank returns a
+	// handle: persistMeta can only fail on rank 0 (it is a no-op
+	// elsewhere), and without the agreement round the other ranks would
+	// return healthy handles on a store rank 0 is about to release.
+	perr := f.persistMeta()
+	ok := []byte{1}
+	if perr != nil {
+		ok = []byte{0}
+	}
+	ok, err = c.Bcast(0, ok)
+	if err != nil {
+		return nil, err
+	}
+	if len(ok) == 0 || ok[0] == 0 {
 		// Rank 0 owns the store it just created: release it (queue
 		// goroutines, disk files) rather than leak it on a failed create.
 		if c.Rank() == 0 {
 			fs.Close()
+			return nil, perr
 		}
-		return nil, err
+		return nil, fmt.Errorf("drxmp: create %s: metadata persist failed on rank 0", path)
 	}
 	return f, c.Barrier()
 }
 
-// Open collectively opens an existing disk-backed array (DRXMP_Open):
-// rank 0 reads the .xmd file and broadcasts it; every process installs
-// its replica.
-func Open(c *cluster.Comm, path string, fsOpts pfs.Options, kind zone.Kind, cyclicBlock int) (*File, error) {
+// OpenWith collectively opens an existing disk-backed array
+// (DRXMP_Open): rank 0 reads the .xmd file and broadcasts it; every
+// process installs its replica. Unlike the legacy Open it accepts the
+// full Tuning block, so every knob a Create can set is available at
+// open time too. Validation failures wrap ErrBadOptions.
+func OpenWith(c *cluster.Comm, path string, opts OpenOptions) (*File, error) {
+	if opts.CyclicBlock < 0 {
+		return nil, fmt.Errorf("%w: negative CyclicBlock %d", ErrBadOptions, opts.CyclicBlock)
+	}
+	if opts.CyclicBlock == 0 {
+		opts.CyclicBlock = 1
+	}
+	if err := opts.Tuning.validate(); err != nil {
+		return nil, err
+	}
 	var blob []byte
 	var rdErr error
 	if c.Rank() == 0 {
@@ -291,6 +368,7 @@ func Open(c *cluster.Comm, path string, fsOpts pfs.Options, kind zone.Kind, cycl
 	if err != nil {
 		return nil, err
 	}
+	fsOpts := opts.FS
 	fsOpts.Backend = pfs.Disk
 	if fsOpts.Dir == "" {
 		fsOpts.Dir = filepath.Dir(path)
@@ -301,20 +379,28 @@ func Open(c *cluster.Comm, path string, fsOpts pfs.Options, kind zone.Kind, cycl
 	if err != nil {
 		return nil, err
 	}
-	if cyclicBlock <= 0 {
-		cyclicBlock = 1
-	}
 	f := &File{
 		comm:        c,
 		m:           m,
 		fs:          fs,
 		io:          mpiio.Open(c, fs),
 		path:        path,
-		kind:        kind,
-		cyclicBlock: cyclicBlock,
+		kind:        opts.Decomp,
+		cyclicBlock: opts.CyclicBlock,
 		diskBacked:  true,
+		par:         opts.Parallelism,
 	}
+	f.applyTuning(opts.Tuning)
 	return f, c.Barrier()
+}
+
+// Open collectively opens an existing disk-backed array with the
+// legacy positional signature.
+//
+// Deprecated: use OpenWith, which can also set the tuning knobs at
+// open time. Open remains as a thin wrapper so existing callers build.
+func Open(c *cluster.Comm, path string, fsOpts pfs.Options, kind zone.Kind, cyclicBlock int) (*File, error) {
+	return OpenWith(c, path, OpenOptions{FS: fsOpts, Decomp: kind, CyclicBlock: cyclicBlock})
 }
 
 // Close collectively closes the array (DRXMP_Close). Every rank first
@@ -388,55 +474,111 @@ func (f *File) FS() *pfs.FS { return f.fs }
 // IO exposes the MPI-IO style handle (to tune collective buffering).
 func (f *File) IO() *mpiio.File { return f.io }
 
+// Tuning returns the file's current knob block (raw values, not the
+// resolved worker counts — see Parallelism/CollectiveParallelism for
+// those). OpenWith/Create round-trip: the Tuning passed in is the
+// Tuning read back.
+func (f *File) Tuning() Tuning {
+	return Tuning{
+		Parallelism:           f.par,
+		CollectiveParallelism: f.io.Parallelism,
+		CBNodes:               f.io.CBNodes,
+		WriteBehindBytes:      f.io.WriteBehind,
+		CacheBytes:            f.io.CacheBytes,
+		ReadAheadBytes:        f.io.ReadAhead,
+	}
+}
+
+// applyTuning installs t without validation or flush side effects
+// (open/create path: nothing can be buffered yet).
+func (f *File) applyTuning(t Tuning) {
+	f.par = t.Parallelism
+	_ = f.io.ApplyTuning(t.CollectiveParallelism, t.CBNodes,
+		t.WriteBehindBytes, t.CacheBytes, f.io.SieveSize, t.ReadAheadBytes)
+}
+
+// SetTuning validates t (ErrBadOptions on rejection) and applies every
+// knob atomically — one call instead of six setters, so a serving tier
+// can swap a tenant's whole profile between requests. Disabling
+// write-behind (newly zero) flushes any buffered dirty extents first,
+// exactly as SetWriteBehind does, and returns the flush error. Every
+// rank must apply the same Tuning.
+func (f *File) SetTuning(t Tuning) error {
+	if err := t.validate(); err != nil {
+		return err
+	}
+	f.par = t.Parallelism
+	return f.io.ApplyTuning(t.CollectiveParallelism, t.CBNodes,
+		t.WriteBehindBytes, t.CacheBytes, f.io.SieveSize, t.ReadAheadBytes)
+}
+
 // SetParallelism adjusts the per-rank I/O parallelism knob after open
-// (same semantics as Options.Parallelism).
-func (f *File) SetParallelism(n int) { f.par = n }
+// (same semantics as Tuning.Parallelism). A wrapper over SetTuning.
+func (f *File) SetParallelism(n int) {
+	t := f.Tuning()
+	t.Parallelism = n
+	_ = f.SetTuning(t)
+}
 
 // Parallelism returns the resolved worker bound for independent I/O.
 func (f *File) Parallelism() int { return par.Resolve(f.par) }
 
 // SetCollectiveParallelism adjusts the per-rank collective I/O worker
-// bound after open (same semantics as Options.CollectiveParallelism).
-func (f *File) SetCollectiveParallelism(n int) { f.io.Parallelism = n }
+// bound after open (same semantics as Tuning.CollectiveParallelism).
+func (f *File) SetCollectiveParallelism(n int) {
+	t := f.Tuning()
+	t.CollectiveParallelism = n
+	_ = f.SetTuning(t)
+}
 
 // CollectiveParallelism returns the resolved worker bound for the
 // two-phase collective stages.
 func (f *File) CollectiveParallelism() int { return par.Resolve(f.io.Parallelism) }
 
 // SetCBNodes adjusts the collective aggregator-count knob after open
-// (same semantics as Options.CBNodes; must match on every rank).
-func (f *File) SetCBNodes(n int) { f.io.CBNodes = n }
+// (same semantics as Tuning.CBNodes; must match on every rank).
+func (f *File) SetCBNodes(n int) {
+	t := f.Tuning()
+	t.CBNodes = n
+	_ = f.SetTuning(t)
+}
 
 // CBNodes returns the collective aggregator-count knob (0 = adaptive).
 func (f *File) CBNodes() int { return f.io.CBNodes }
 
 // SetWriteBehind adjusts the write-behind policy after open (same
-// semantics as Options.WriteBehindBytes; must match on every rank).
+// semantics as Tuning.WriteBehindBytes; must match on every rank).
 // Disabling (n == 0) flushes any buffered dirty extents first, so no
 // deferred bytes can linger behind a disabled cache.
 func (f *File) SetWriteBehind(n int64) error {
-	f.io.WriteBehind = n
-	if n == 0 {
-		return f.io.Sync()
-	}
-	return nil
+	t := f.Tuning()
+	t.WriteBehindBytes = n
+	return f.SetTuning(t)
 }
 
 // WriteBehind returns the write-behind policy knob (0 = immediate).
 func (f *File) WriteBehind() int64 { return f.io.WriteBehind }
 
 // SetCacheBytes adjusts the read-cache memory budget after open (same
-// semantics as Options.CacheBytes; must match on every rank).
-// Disabling (n == 0) releases the cached clean extents; deferred
+// semantics as Tuning.CacheBytes; must match on every rank).
+// Disabling (n <= 0) releases the cached clean extents; deferred
 // write-behind extents stay buffered.
-func (f *File) SetCacheBytes(n int64) { f.io.SetCacheBytes(n) }
+func (f *File) SetCacheBytes(n int64) {
+	t := f.Tuning()
+	t.CacheBytes = max(n, 0)
+	_ = f.SetTuning(t)
+}
 
 // CacheBytes returns the read-cache memory budget (0 = disabled).
 func (f *File) CacheBytes() int64 { return f.io.CacheBytes }
 
 // SetReadAhead adjusts the sieve read-ahead after open (same semantics
-// as Options.ReadAheadBytes; must match on every rank).
-func (f *File) SetReadAhead(n int64) { f.io.SetReadAhead(n) }
+// as Tuning.ReadAheadBytes; must match on every rank).
+func (f *File) SetReadAhead(n int64) {
+	t := f.Tuning()
+	t.ReadAheadBytes = max(n, 0)
+	_ = f.SetTuning(t)
+}
 
 // ReadAhead returns the sieve read-ahead knob (0 = disabled).
 func (f *File) ReadAhead() int64 { return f.io.ReadAhead }

@@ -85,8 +85,8 @@ func TestCollectiveParallelSerialIndependentIdentical(t *testing.T) {
 				mk := func(name string, cpar int) (*drxmp.File, error) {
 					return drxmp.Create(c, name, drxmp.Options{
 						DType: drxmp.Float64, ChunkShape: sh.chunk, Bounds: sh.bounds,
-						FS:                    pfs.Options{Servers: 4, StripeSize: 1 << 10},
-						CollectiveParallelism: cpar,
+						FS:     pfs.Options{Servers: 4, StripeSize: 1 << 10},
+						Tuning: drxmp.Tuning{CollectiveParallelism: cpar},
 					})
 				}
 				par8, err := mk("coll-par-"+sh.name, 8)
@@ -191,8 +191,8 @@ func TestCollectiveOverlappingWritesParallelSerialIdentical(t *testing.T) {
 				mk := func(name string, cpar int) (*drxmp.File, error) {
 					return drxmp.Create(c, name, drxmp.Options{
 						DType: drxmp.Float64, ChunkShape: sh.chunk, Bounds: sh.bounds,
-						FS:                    pfs.Options{Servers: 4, StripeSize: 1 << 10},
-						CollectiveParallelism: cpar,
+						FS:     pfs.Options{Servers: 4, StripeSize: 1 << 10},
+						Tuning: drxmp.Tuning{CollectiveParallelism: cpar},
 					})
 				}
 				par8, err := mk("ovl-par-"+sh.name, 8)
@@ -247,7 +247,7 @@ func TestCollectiveParallelismKnob(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "knob", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{4, 4}, Bounds: []int{8, 8},
-			CollectiveParallelism: 6,
+			Tuning: drxmp.Tuning{CollectiveParallelism: 6},
 		})
 		if err != nil {
 			return err

@@ -27,8 +27,8 @@ func TestParallelSerialSectionsIdentical(t *testing.T) {
 		mk := func(name string, parallelism int) (*drxmp.File, error) {
 			return drxmp.Create(c, name, drxmp.Options{
 				DType: drxmp.Float64, ChunkShape: chunk, Bounds: []int{n, n},
-				FS:          pfs.Options{Servers: 4, StripeSize: 4 << 10},
-				Parallelism: parallelism,
+				FS:     pfs.Options{Servers: 4, StripeSize: 4 << 10},
+				Tuning: drxmp.Tuning{Parallelism: parallelism},
 			})
 		}
 		ser, err := mk("par-ser", -1)
@@ -102,8 +102,8 @@ func TestParallelPartialChunkWrites(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "par-partial", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: chunk, Bounds: []int{n, n},
-			FS:          pfs.Options{Servers: 4, StripeSize: 2 << 10},
-			Parallelism: 6,
+			FS:     pfs.Options{Servers: 4, StripeSize: 2 << 10},
+			Tuning: drxmp.Tuning{Parallelism: 6},
 		})
 		if err != nil {
 			return err

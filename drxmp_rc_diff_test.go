@@ -45,10 +45,12 @@ func rcCreate(c *cluster.Comm, name string, sh collShape, v rcVariant) (*drxmp.F
 		FS: pfs.Options{
 			Servers: 4, StripeSize: 1 << 10, Scheduler: pfs.Elevator,
 		},
-		CollectiveParallelism: 8,
-		WriteBehindBytes:      v.wb,
-		CacheBytes:            v.cache,
-		ReadAheadBytes:        v.ra,
+		Tuning: drxmp.Tuning{
+			CollectiveParallelism: 8,
+			WriteBehindBytes:      v.wb,
+			CacheBytes:            v.cache,
+			ReadAheadBytes:        v.ra,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -218,9 +220,11 @@ func TestReadCacheWarmAfterSync(t *testing.T) {
 	err := cluster.Run(ranks, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "rcwarm", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{8, 8}, Bounds: []int{n, n},
-			FS:               pfs.Options{Servers: 2, StripeSize: 512},
-			WriteBehindBytes: -1,
-			CacheBytes:       1 << 20,
+			FS: pfs.Options{Servers: 2, StripeSize: 512},
+			Tuning: drxmp.Tuning{
+				WriteBehindBytes: -1,
+				CacheBytes:       1 << 20,
+			},
 		})
 		if err != nil {
 			return err
@@ -260,8 +264,10 @@ func TestReadCacheKnobPlumbing(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "rcknob", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{4, 4}, Bounds: []int{8, 8},
-			CacheBytes:     1 << 16,
-			ReadAheadBytes: 512,
+			Tuning: drxmp.Tuning{
+				CacheBytes:     1 << 16,
+				ReadAheadBytes: 512,
+			},
 		})
 		if err != nil {
 			return err
@@ -331,11 +337,13 @@ func TestReadCacheEvictionStressRace(t *testing.T) {
 				Servers: 4, StripeSize: 512, Scheduler: pfs.Elevator,
 				Cost: pfs.CostModel{RequestOverhead: 20 * 1000, RealTime: true}, // 20 µs
 			},
-			CollectiveParallelism: 8,
-			Parallelism:           4,
-			WriteBehindBytes:      2048,
-			CacheBytes:            4096, // tiny: every round evicts
-			ReadAheadBytes:        1024,
+			Tuning: drxmp.Tuning{
+				CollectiveParallelism: 8,
+				Parallelism:           4,
+				WriteBehindBytes:      2048,
+				CacheBytes:            4096, // tiny: every round evicts
+				ReadAheadBytes:        1024,
+			},
 		})
 		if err != nil {
 			return err
@@ -384,9 +392,11 @@ func TestReadCacheParallelFirstTouchRace(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "rcfirsttouch", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{8, 8}, Bounds: []int{n, n},
-			FS:          pfs.Options{Servers: 4, StripeSize: 512},
-			Parallelism: 8,
-			CacheBytes:  1 << 20,
+			FS: pfs.Options{Servers: 4, StripeSize: 512},
+			Tuning: drxmp.Tuning{
+				Parallelism: 8,
+				CacheBytes:  1 << 20,
+			},
 		})
 		if err != nil {
 			return err
@@ -420,9 +430,11 @@ func TestDistArrayRefreshCached(t *testing.T) {
 	err := cluster.Run(ranks, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "rcrefresh", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{4, 4}, Bounds: []int{n, n},
-			FS:               pfs.Options{Servers: 2, StripeSize: 512},
-			WriteBehindBytes: -1,
-			CacheBytes:       1 << 20,
+			FS: pfs.Options{Servers: 2, StripeSize: 512},
+			Tuning: drxmp.Tuning{
+				WriteBehindBytes: -1,
+				CacheBytes:       1 << 20,
+			},
 		})
 		if err != nil {
 			return err

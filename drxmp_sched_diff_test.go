@@ -60,8 +60,10 @@ func TestCollectiveSchedulerCBNodesIdentical(t *testing.T) {
 						FS: pfs.Options{
 							Servers: 4, StripeSize: 1 << 10, Scheduler: v.sched,
 						},
-						CollectiveParallelism: 8,
-						CBNodes:               v.cbNodes,
+						Tuning: drxmp.Tuning{
+							CollectiveParallelism: 8,
+							CBNodes:               v.cbNodes,
+						},
 					})
 					if err != nil {
 						return err
@@ -144,8 +146,10 @@ func TestCollectiveSchedulerOverlappingWrites(t *testing.T) {
 						FS: pfs.Options{
 							Servers: 4, StripeSize: 1 << 10, Scheduler: v.sched,
 						},
-						CollectiveParallelism: 8,
-						CBNodes:               v.cbNodes,
+						Tuning: drxmp.Tuning{
+							CollectiveParallelism: 8,
+							CBNodes:               v.cbNodes,
+						},
 					})
 					if err != nil {
 						return err
@@ -194,7 +198,7 @@ func TestCBNodesKnob(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "cbknob", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{4, 4}, Bounds: []int{8, 8},
-			CBNodes: 3,
+			Tuning: drxmp.Tuning{CBNodes: 3},
 		})
 		if err != nil {
 			return err

@@ -60,8 +60,10 @@ func TestWriteBehindDifferentialIdentical(t *testing.T) {
 						FS: pfs.Options{
 							Servers: 4, StripeSize: 1 << 10, Scheduler: pfs.Elevator,
 						},
-						CollectiveParallelism: 8,
-						WriteBehindBytes:      v.wb,
+						Tuning: drxmp.Tuning{
+							CollectiveParallelism: 8,
+							WriteBehindBytes:      v.wb,
+						},
 					})
 					if err != nil {
 						return err
@@ -155,8 +157,8 @@ func TestWriteBehindCloseFlushes(t *testing.T) {
 		for _, v := range []wbVariant{{"immediate", 0}, {"close-only", -1}} {
 			f, err := drxmp.Create(c, "wbclose-"+v.name, drxmp.Options{
 				DType: drxmp.Float64, ChunkShape: []int{8, 8}, Bounds: []int{n, n},
-				FS:               pfs.Options{Servers: 2, StripeSize: 512},
-				WriteBehindBytes: v.wb,
+				FS:     pfs.Options{Servers: 2, StripeSize: 512},
+				Tuning: drxmp.Tuning{WriteBehindBytes: v.wb},
 			})
 			if err != nil {
 				return err
@@ -205,7 +207,7 @@ func TestWriteBehindKnobPlumbing(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "wbknob", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{4, 4}, Bounds: []int{8, 8},
-			WriteBehindBytes: -1,
+			Tuning: drxmp.Tuning{WriteBehindBytes: -1},
 		})
 		if err != nil {
 			return err
@@ -255,8 +257,8 @@ func TestDistArrayCheckpointWriteBehind(t *testing.T) {
 	err := cluster.Run(ranks, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "wbga", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{6, 6}, Bounds: []int{n, n},
-			FS:               pfs.Options{Servers: 2, StripeSize: 512},
-			WriteBehindBytes: -1,
+			FS:     pfs.Options{Servers: 2, StripeSize: 512},
+			Tuning: drxmp.Tuning{WriteBehindBytes: -1},
 		})
 		if err != nil {
 			return err
@@ -337,8 +339,10 @@ func TestWriteBehindStressRace(t *testing.T) {
 				Servers: 4, StripeSize: 512, Scheduler: pfs.Elevator,
 				Cost: pfs.CostModel{RequestOverhead: 20 * 1000, RealTime: true}, // 20 µs
 			},
-			CollectiveParallelism: 8,
-			WriteBehindBytes:      2048,
+			Tuning: drxmp.Tuning{
+				CollectiveParallelism: 8,
+				WriteBehindBytes:      2048,
+			},
 		})
 		if err != nil {
 			return err

@@ -17,6 +17,13 @@ type CollectiveBenchResult struct {
 	ReadMS  float64 `json:"read_ms"`  // wall time of read_all
 	MBps    float64 `json:"mbps"`     // write+read bytes over total wall time
 	Seeks   int64   `json:"seeks"`    // simulated seeks charged by the servers
+
+	// Serving-tier rows only (ServeBench): HTTP request throughput and
+	// how much of the burst the serving mechanisms absorbed before it
+	// reached the store.
+	ReqPerSec     float64 `json:"req_per_sec,omitempty"`
+	CoalesceRatio float64 `json:"coalesce_ratio,omitempty"`
+	SFHitRate     float64 `json:"single_flight_hit_rate,omitempty"`
 }
 
 // CollectiveBench runs one write_all+read_all round of the E18
@@ -109,9 +116,10 @@ func ReadCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
 	}, nil
 }
 
-// WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench, and
-// ReadCacheBench and writes the combined rows to path as indented JSON
-// — the BENCH_collective.json artifact CI uploads per PR.
+// WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench,
+// ReadCacheBench and ServeBench and writes the combined rows to path
+// as indented JSON — the BENCH_collective.json artifact CI uploads per
+// PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
 	rows, err := CollectiveBench(sc)
 	if err != nil {
@@ -127,6 +135,11 @@ func WriteCollectiveBenchJSON(path string, sc Scale) error {
 		return err
 	}
 	rows = append(rows, rcRows...)
+	svRows, err := ServeBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, svRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

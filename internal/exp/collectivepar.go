@@ -64,8 +64,8 @@ func E17CollectiveParallelism(sc Scale) []*report.Table {
 		err := cluster.Run(ranks, func(c *cluster.Comm) error {
 			f, err := drxmp.Create(c, "e17", drxmp.Options{
 				DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
-				FS:                    pfs.Options{Servers: servers, StripeSize: stripe, Cost: e17Cost()},
-				CollectiveParallelism: workers,
+				FS:     pfs.Options{Servers: servers, StripeSize: stripe, Cost: e17Cost()},
+				Tuning: drxmp.Tuning{CollectiveParallelism: workers},
 			})
 			if err != nil {
 				return err

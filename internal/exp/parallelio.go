@@ -53,8 +53,8 @@ func E16ParallelIO(sc Scale) []*report.Table {
 		err := cluster.Run(1, func(c *cluster.Comm) error {
 			f, err := drxmp.Create(c, "e16", drxmp.Options{
 				DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
-				FS:          pfs.Options{Servers: servers, StripeSize: stripe, Cost: e16Cost()},
-				Parallelism: workers,
+				FS:     pfs.Options{Servers: servers, StripeSize: stripe, Cost: e16Cost()},
+				Tuning: drxmp.Tuning{Parallelism: workers},
 			})
 			if err != nil {
 				return err

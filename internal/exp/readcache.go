@@ -72,9 +72,11 @@ func e20Run(n, ranks, servers int, stripe int64, cache func(int64) int64, ra int
 				Servers: servers, StripeSize: stripe, Cost: e20Cost(),
 				Scheduler: pfs.Elevator,
 			},
-			CollectiveParallelism: 8,
-			CacheBytes:            cache(arrayBytes),
-			ReadAheadBytes:        ra,
+			Tuning: drxmp.Tuning{
+				CollectiveParallelism: 8,
+				CacheBytes:            cache(arrayBytes),
+				ReadAheadBytes:        ra,
+			},
 		})
 		if err != nil {
 			return err
@@ -158,8 +160,10 @@ func e20Strided(n, servers int, stripe int64, cache func(int64) int64) (
 				Servers: servers, StripeSize: stripe, Cost: e20Cost(),
 				Scheduler: pfs.Elevator,
 			},
-			Parallelism: 8,
-			CacheBytes:  cache(arrayBytes),
+			Tuning: drxmp.Tuning{
+				Parallelism: 8,
+				CacheBytes:  cache(arrayBytes),
+			},
 		})
 		if err != nil {
 			return err
@@ -209,9 +213,11 @@ func e20Scan(n, servers int, stripe, ra int64) (
 				Servers: servers, StripeSize: stripe, Cost: e20Cost(),
 				Scheduler: pfs.Elevator,
 			},
-			Parallelism:    -1, // serial: one vectored cached read per band
-			CacheBytes:     e20Budget(arrayBytes),
-			ReadAheadBytes: ra,
+			Tuning: drxmp.Tuning{
+				Parallelism:    -1, // serial: one vectored cached read per band
+				CacheBytes:     e20Budget(arrayBytes),
+				ReadAheadBytes: ra,
+			},
 		})
 		if err != nil {
 			return err

@@ -73,8 +73,10 @@ func e18Run(n, ranks, servers int, stripe int64, cost pfs.CostModel,
 				// and pinned by the pfs window tests.
 				WindowSize: 32,
 			},
-			CollectiveParallelism: 32,
-			CBNodes:               cbNodes,
+			Tuning: drxmp.Tuning{
+				CollectiveParallelism: 32,
+				CBNodes:               cbNodes,
+			},
 		})
 		if err != nil {
 			return err
@@ -223,8 +225,8 @@ func e18ExchangeRun(ranks, cbNodes int) (st cluster.TCPStats, wall time.Duration
 	st, err = cluster.RunTCPStats(ranks, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, fmt.Sprintf("e18x-%d", cbNodes), drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
-			FS:      pfs.Options{Servers: 4, StripeSize: stripe},
-			CBNodes: cbNodes,
+			FS:     pfs.Options{Servers: 4, StripeSize: stripe},
+			Tuning: drxmp.Tuning{CBNodes: cbNodes},
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/cluster"
+	"drxmp/internal/pfs"
+	"drxmp/internal/serve"
+)
+
+// ServeBench drives the HTTP serving tier (internal/serve) with bursts
+// of overlapping concurrent section reads and returns artifact rows
+// measuring the serving mechanisms: requests per second, the coalesce
+// ratio (fraction of reads absorbed into another request's backing
+// read), and the single-flight hit rate (fraction served by blocking
+// on an in-progress fill). Two rows contrast the mechanisms off and
+// on: "serve/passthrough" (no batching window — every request reaches
+// the store) and "serve/coalesced" (a 1ms window plus single-flight).
+func ServeBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(96, 192)
+	clients := sc.pick(8, 16)
+	rounds := sc.pick(4, 8)
+	var out []CollectiveBenchResult
+	for _, cfg := range []struct {
+		name   string
+		window time.Duration
+	}{
+		{name: "serve/passthrough", window: 0},
+		{name: "serve/coalesced", window: time.Millisecond},
+	} {
+		row, err := serveBenchRun(cfg.name, n, clients, rounds, cfg.window)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func serveBenchRun(name string, n, clients, rounds int, window time.Duration) (CollectiveBenchResult, error) {
+	var row CollectiveBenchResult
+	err := cluster.Run(1, func(c *cluster.Comm) error {
+		f, err := drxmp.Create(c, "servebench", drxmp.Options{
+			DType: drxmp.Float64, ChunkShape: []int{32, 32}, Bounds: []int{n, n},
+			FS: pfs.Options{Servers: 4, StripeSize: 2 << 10},
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		full := drxmp.NewBox([]int{0, 0}, []int{n, n})
+		vals := make([]float64, full.Volume())
+		for i := range vals {
+			vals[i] = float64(i)
+		}
+		if err := f.WriteSectionFloat64s(full, vals, drxmp.RowMajor); err != nil {
+			return err
+		}
+
+		srv := serve.New(serve.Config{
+			CoalesceWindow:      window,
+			MaxInFlightRequests: 2 * clients,
+		})
+		if err := srv.Register("bench", f); err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		// Each round: every client reads an overlapping band of the
+		// array (shifted per client, rotated per round), all released
+		// together so the burst lands in one batching window.
+		band := n / 2
+		var bytesOut int64
+		var mu sync.Mutex
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			gate := make(chan struct{})
+			errs := make([]error, clients)
+			var wg sync.WaitGroup
+			for cl := 0; cl < clients; cl++ {
+				wg.Add(1)
+				go func(cl int) {
+					defer wg.Done()
+					<-gate
+					lo := (r*7 + cl*3) % (n - band)
+					url := fmt.Sprintf("%s/v1/arrays/bench/section?lo=%d,0&hi=%d,%d",
+						ts.URL, lo, lo+band, n)
+					resp, err := http.Get(url)
+					if err != nil {
+						errs[cl] = err
+						return
+					}
+					nb, err := io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						errs[cl] = err
+						return
+					}
+					if resp.StatusCode != http.StatusOK {
+						errs[cl] = fmt.Errorf("status %d", resp.StatusCode)
+						return
+					}
+					mu.Lock()
+					bytesOut += nb
+					mu.Unlock()
+				}(cl)
+			}
+			close(gate)
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return err
+				}
+			}
+		}
+		wall := time.Since(start)
+
+		st := srv.Stats().Arrays[0]
+		reqs := int64(clients * rounds)
+		row = CollectiveBenchResult{
+			Config:        name,
+			ReadMS:        float64(wall) / float64(time.Millisecond),
+			MBps:          float64(bytesOut) / (1 << 20) * float64(time.Second) / float64(wall),
+			ReqPerSec:     float64(reqs) * float64(time.Second) / float64(wall),
+			CoalesceRatio: float64(st.Coalesce.Merged) / float64(reqs),
+			SFHitRate:     float64(st.SingleFlight.Hits) / float64(reqs),
+		}
+		return nil
+	})
+	return row, err
+}

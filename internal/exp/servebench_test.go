@@ -1,0 +1,30 @@
+package exp
+
+import "testing"
+
+// TestServeBenchQuick pins the serving-tier bench's shape: both rows
+// present, throughput measured, and the coalesced configuration
+// actually exercising the sharing mechanisms.
+func TestServeBenchQuick(t *testing.T) {
+	rows, err := ServeBench(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	if rows[0].Config != "serve/passthrough" || rows[1].Config != "serve/coalesced" {
+		t.Fatalf("row configs: %q, %q", rows[0].Config, rows[1].Config)
+	}
+	for _, r := range rows {
+		if r.ReqPerSec <= 0 || r.ReadMS <= 0 || r.MBps <= 0 {
+			t.Fatalf("%s: empty measurements: %+v", r.Config, r)
+		}
+	}
+	if rows[0].CoalesceRatio != 0 {
+		t.Fatalf("passthrough row reports coalescing: %+v", rows[0])
+	}
+	if rows[1].CoalesceRatio+rows[1].SFHitRate <= 0 {
+		t.Fatalf("coalesced row shows no sharing: %+v", rows[1])
+	}
+}

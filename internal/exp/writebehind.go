@@ -74,8 +74,10 @@ func e19Run(n, ranks, servers, rows int, stripe int64, wb func(int64) int64) (
 				Servers: servers, StripeSize: stripe, Cost: e19Cost(),
 				Scheduler: pfs.Elevator,
 			},
-			CollectiveParallelism: 8,
-			WriteBehindBytes:      wb(totalBytes),
+			Tuning: drxmp.Tuning{
+				CollectiveParallelism: 8,
+				WriteBehindBytes:      wb(totalBytes),
+			},
 		})
 		if err != nil {
 			return err
@@ -225,8 +227,8 @@ func e19WireRun(ranks int, wb int64, reads bool) (st cluster.TCPStats, err error
 	st, err = cluster.RunTCPStats(ranks, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, fmt.Sprintf("e19w-%d-%v", wb, reads), drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{chunk, chunk}, Bounds: []int{n, n},
-			FS:               pfs.Options{Servers: 4, StripeSize: 8 << 10},
-			WriteBehindBytes: wb,
+			FS:     pfs.Options{Servers: 4, StripeSize: 8 << 10},
+			Tuning: drxmp.Tuning{WriteBehindBytes: wb},
 		})
 		if err != nil {
 			return err

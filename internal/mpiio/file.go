@@ -152,6 +152,37 @@ func (f *File) SetReadAhead(n int64) {
 	}
 }
 
+// ApplyTuning installs every collective/cache knob of the handle in
+// one call — the atomic application point behind drxmp.File.SetTuning,
+// so a serving tier can swap a whole tenant profile instead of six
+// setters. The shared cache is reconfigured once, and disabling
+// write-behind (newly zero) flushes the buffered dirty extents exactly
+// as the individual setter does, returning the flush error.
+func (f *File) ApplyTuning(collectivePar, cbNodes int, writeBehind, cacheBytes, sieveSize, readAhead int64) error {
+	wasWB := f.WriteBehind
+	f.Parallelism = collectivePar
+	f.CBNodes = cbNodes
+	f.WriteBehind = writeBehind
+	f.CacheBytes = cacheBytes
+	f.SieveSize = sieveSize
+	f.ReadAhead = readAhead
+	if w := f.sharedCache(); w != nil {
+		w.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+	}
+	if writeBehind == 0 && wasWB != 0 {
+		return f.Sync()
+	}
+	return nil
+}
+
+// CacheStatsDelta returns the cache accounting accumulated since a
+// prior CacheStats snapshot — the hook the serving tier uses to
+// attribute hit/miss/fetch traffic to the requests between two
+// snapshots.
+func (f *File) CacheStatsDelta(prev CacheStats) CacheStats {
+	return f.CacheStats().Sub(prev)
+}
+
 // Sync flushes every buffered dirty extent of the file — all ranks'
 // deferred collective writes share one cache — to the file system as
 // one vectored flush sweep (MPI_File_sync). With clean caching on the

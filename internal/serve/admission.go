@@ -1,0 +1,109 @@
+package serve
+
+import "sync"
+
+// admission is the per-file admission controller: a bounded in-flight
+// request/byte budget with FIFO-ish queueing (sync.Cond wakeups), so a
+// burst of heavy clients degrades into an orderly queue instead of an
+// unbounded pile of section buffers. Zero limits mean unbounded.
+type admission struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	maxReqs  int
+	maxBytes int64
+
+	inReqs  int
+	inBytes int64
+	queued  int
+
+	// cumulative stats
+	admitted   int64
+	waits      int64 // requests that had to queue before admission
+	peakReqs   int
+	peakQueued int
+}
+
+func newAdmission(maxReqs int, maxBytes int64) *admission {
+	a := &admission{maxReqs: maxReqs, maxBytes: maxBytes}
+	a.cond = sync.NewCond(&a.mu)
+	return a
+}
+
+// full reports whether admitting n more bytes would exceed a budget. An
+// oversized request (n alone above maxBytes) is admitted once the file
+// is idle rather than rejected — the budget then degenerates to
+// one-at-a-time for it.
+func (a *admission) full(n int64) bool {
+	if a.maxReqs > 0 && a.inReqs >= a.maxReqs {
+		return true
+	}
+	if a.maxBytes > 0 && a.inBytes > 0 && a.inBytes+n > a.maxBytes {
+		return true
+	}
+	return false
+}
+
+// acquire blocks until the request is admitted and reports whether it
+// had to queue.
+func (a *admission) acquire(n int64) (waited bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.full(n) {
+		waited = true
+		a.waits++
+		a.queued++
+		if a.queued > a.peakQueued {
+			a.peakQueued = a.queued
+		}
+		for a.full(n) {
+			a.cond.Wait()
+		}
+		a.queued--
+	}
+	a.inReqs++
+	a.inBytes += n
+	a.admitted++
+	if a.inReqs > a.peakReqs {
+		a.peakReqs = a.inReqs
+	}
+	return waited
+}
+
+// release returns the request's budget and wakes queued waiters.
+func (a *admission) release(n int64) {
+	a.mu.Lock()
+	a.inReqs--
+	a.inBytes -= n
+	a.mu.Unlock()
+	a.cond.Broadcast()
+}
+
+// AdmissionStats is the admission controller's surfaced accounting.
+type AdmissionStats struct {
+	MaxRequests   int   `json:"max_requests"`
+	MaxBytes      int64 `json:"max_bytes"`
+	InFlight      int   `json:"in_flight"`
+	InFlightBytes int64 `json:"in_flight_bytes"`
+	Queued        int   `json:"queued"`
+	Admitted      int64 `json:"admitted"`
+	Waits         int64 `json:"waits"`
+	PeakInFlight  int   `json:"peak_in_flight"`
+	PeakQueued    int   `json:"peak_queued"`
+}
+
+func (a *admission) snapshot() AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionStats{
+		MaxRequests:   a.maxReqs,
+		MaxBytes:      a.maxBytes,
+		InFlight:      a.inReqs,
+		InFlightBytes: a.inBytes,
+		Queued:        a.queued,
+		Admitted:      a.admitted,
+		Waits:         a.waits,
+		PeakInFlight:  a.peakReqs,
+		PeakQueued:    a.peakQueued,
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"drxmp/internal/grid"
+)
+
+// pendingFetch is one section fetch waiting in the batching window.
+type pendingFetch struct {
+	box    grid.Box
+	done   chan struct{}
+	buf    []byte // dense over box, RowMajor
+	err    error
+	merged bool // served as part of a multi-request cluster read
+}
+
+// coalescer merges overlapping section reads that arrive within one
+// batching window into a single backing section read whose result is
+// sliced back per client. The first arrival of a window becomes the
+// batch leader: it sleeps out the window, freezes the batch, clusters
+// the boxes by overlap, issues one fetch per cluster (the cluster's
+// bounding box) and distributes the slices. A zero window disables
+// batching — every read goes straight to the backing fetch.
+type coalescer struct {
+	window time.Duration
+	es     int64
+	fetch  func(grid.Box) ([]byte, error) // backing read, RowMajor
+
+	mu      sync.Mutex
+	pending []*pendingFetch
+	open    bool // a leader's window is collecting arrivals
+
+	// cumulative stats
+	batches      int64 // windows that froze at least one request
+	batched      int64 // requests that went through a window
+	backingReads int64 // section reads issued against the file
+	merged       int64 // requests absorbed into another request's read
+	ampBytes     int64 // cluster-bound bytes beyond the members' union
+}
+
+func newCoalescer(window time.Duration, es int64, fetch func(grid.Box) ([]byte, error)) *coalescer {
+	return &coalescer{window: window, es: es, fetch: fetch}
+}
+
+// read fetches box (dense RowMajor), merging with overlapping
+// concurrent reads when a batching window is configured. merged
+// reports that the result came out of a multi-request cluster read.
+func (co *coalescer) read(box grid.Box) (buf []byte, merged bool, err error) {
+	if co.window <= 0 {
+		co.mu.Lock()
+		co.backingReads++
+		co.mu.Unlock()
+		b, err := co.fetch(box)
+		return b, false, err
+	}
+	p := &pendingFetch{box: box, done: make(chan struct{})}
+	co.mu.Lock()
+	co.pending = append(co.pending, p)
+	co.batched++
+	leader := !co.open
+	if leader {
+		co.open = true
+	}
+	co.mu.Unlock()
+	if leader {
+		time.Sleep(co.window)
+		co.mu.Lock()
+		batch := co.pending
+		co.pending = nil
+		co.open = false
+		co.batches++
+		co.mu.Unlock()
+		co.serve(batch)
+	}
+	<-p.done
+	return p.buf, p.merged, p.err
+}
+
+// serve clusters the frozen batch by box overlap and issues one
+// backing read per cluster, slicing the result back to each member.
+func (co *coalescer) serve(batch []*pendingFetch) {
+	type cluster struct {
+		bound   grid.Box
+		members []*pendingFetch
+	}
+	var clusters []*cluster
+	for _, p := range batch {
+		clusters = append(clusters, &cluster{bound: p.box, members: []*pendingFetch{p}})
+	}
+	// Fix-point merge: any two clusters whose bounds overlap collapse
+	// into one. Batches are small (they are one window's arrivals), so
+	// the quadratic sweep is fine.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(clusters) && !changed; i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				if clusters[i].bound.Intersect(clusters[j].bound).Empty() {
+					continue
+				}
+				clusters[i].bound = boundingBox(clusters[i].bound, clusters[j].bound)
+				clusters[i].members = append(clusters[i].members, clusters[j].members...)
+				clusters = append(clusters[:j], clusters[j+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	for _, cl := range clusters {
+		buf, err := co.fetch(cl.bound)
+		co.mu.Lock()
+		co.backingReads++
+		if len(cl.members) > 1 {
+			co.merged += int64(len(cl.members) - 1)
+			var union int64
+			for _, m := range cl.members {
+				union += m.box.Volume() // overcounts overlap; amplification is a lower bound of sharing
+			}
+			if amp := cl.bound.Volume() - union; amp > 0 {
+				co.ampBytes += amp * co.es
+			}
+		}
+		co.mu.Unlock()
+		for _, m := range cl.members {
+			if err != nil {
+				m.err = err
+			} else if len(cl.members) == 1 {
+				m.buf = buf
+			} else {
+				m.buf = sliceSection(buf, cl.bound, m.box, co.es, grid.RowMajor)
+				m.merged = true
+			}
+			close(m.done)
+		}
+	}
+}
+
+// CoalesceStats is the coalescer's surfaced accounting.
+type CoalesceStats struct {
+	WindowMS     float64 `json:"window_ms"`
+	Batches      int64   `json:"batches"`
+	Batched      int64   `json:"batched"`
+	BackingReads int64   `json:"backing_reads"`
+	Merged       int64   `json:"merged"`
+	AmpBytes     int64   `json:"amplified_bytes"`
+}
+
+func (co *coalescer) snapshot() CoalesceStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return CoalesceStats{
+		WindowMS:     float64(co.window) / float64(time.Millisecond),
+		Batches:      co.batches,
+		Batched:      co.batched,
+		BackingReads: co.backingReads,
+		Merged:       co.merged,
+		AmpBytes:     co.ampBytes,
+	}
+}

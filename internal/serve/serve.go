@@ -1,0 +1,378 @@
+// Package serve is the array-as-a-service front end: an HTTP serving
+// tier that exposes DistArray/drxmp section reads and writes to many
+// concurrent remote clients over one shared store.
+//
+// Three mechanisms make it a system rather than a shim over
+// File.ReadSection:
+//
+//   - Per-file admission control: a bounded in-flight request/byte
+//     budget with queueing (admission.go), so a client burst degrades
+//     into an orderly queue instead of unbounded section buffers.
+//   - Cross-client request coalescing: overlapping section reads
+//     arriving within a batching window merge into one backing
+//     section read whose result is sliced back per client
+//     (coalesce.go).
+//   - Single-flight cold fills: a per-(aligned box, write generation)
+//     table of in-progress fetches, so K waiters on a cold range
+//     block on the first fetcher instead of issuing K server sweeps
+//     (singleflight.go). Warmth beyond the in-flight window comes
+//     from the unified extent cache (drxmp Tuning.CacheBytes).
+//
+// Every request is attributed to a tenant (X-Drx-Tenant header or
+// ?tenant=) in per-tenant counters layered on top of pfs.ServerStats.
+//
+// API (binary bodies are raw element bytes, dense over the box in the
+// requested order, little-endian as stored):
+//
+//	GET  /v1/arrays                            -> JSON list of arrays
+//	GET  /v1/arrays/{name}                     -> JSON array metadata
+//	GET  /v1/arrays/{name}/section?lo=..&hi=.. -> binary section
+//	PUT  /v1/arrays/{name}/section?lo=..&hi=.. <- binary section
+//	GET  /v1/arrays/{name}/stats               -> JSON serving stats
+//	GET  /v1/stats                             -> JSON all arrays + tenants
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/grid"
+)
+
+// Config tunes the serving mechanisms. The zero value serves
+// correctly: no admission bound, no batching window.
+type Config struct {
+	// CoalesceWindow is the batching window overlapping reads wait to
+	// merge. 0 disables coalescing (reads still single-flight).
+	CoalesceWindow time.Duration
+	// MaxInFlightRequests bounds admitted requests per array
+	// (0 = unbounded).
+	MaxInFlightRequests int
+	// MaxInFlightBytes bounds admitted payload bytes per array
+	// (0 = unbounded).
+	MaxInFlightBytes int64
+}
+
+// array is one registered file plus its serving machinery.
+type array struct {
+	name string
+	f    *drxmp.File
+	adm  *admission
+	fl   *flightTable
+	co   *coalescer
+	// gen is bumped by every completed write, and is part of the
+	// single-flight key: a read arriving after a write never joins a
+	// fill that started before it, so read-your-writes holds for
+	// sequential clients (concurrent conflicting access keeps MPI's
+	// undefined ordering, as everywhere in the library).
+	gen atomic.Int64
+}
+
+// Server serves registered arrays over HTTP.
+type Server struct {
+	cfg     Config
+	mu      sync.RWMutex
+	arrays  map[string]*array
+	tenants *tenantTable
+}
+
+// New builds a server with no arrays registered.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg, arrays: map[string]*array{}, tenants: newTenantTable()}
+}
+
+// Register exposes f as /v1/arrays/{name}. The file stays owned by the
+// caller (the server never closes it); its handle must remain valid
+// for the server's lifetime.
+func (s *Server) Register(name string, f *drxmp.File) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty array name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.arrays[name]; ok {
+		return fmt.Errorf("serve: array %q already registered", name)
+	}
+	a := &array{
+		name: name,
+		f:    f,
+		adm:  newAdmission(s.cfg.MaxInFlightRequests, s.cfg.MaxInFlightBytes),
+		fl:   newFlightTable(),
+	}
+	a.co = newCoalescer(s.cfg.CoalesceWindow, int64(f.DType().Size()),
+		func(b grid.Box) ([]byte, error) {
+			buf := make([]byte, b.Volume()*int64(f.DType().Size()))
+			if err := f.ReadSection(b, buf, drxmp.RowMajor); err != nil {
+				return nil, err
+			}
+			return buf, nil
+		})
+	s.arrays[name] = a
+	return nil
+}
+
+// Array returns the registered file (tests and stats).
+func (s *Server) Array(name string) (*drxmp.File, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.arrays[name]
+	if !ok {
+		return nil, false
+	}
+	return a.f, true
+}
+
+func (s *Server) array(name string) *array {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.arrays[name]
+}
+
+// Handler returns the HTTP handler serving the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/arrays", s.handleList)
+	mux.HandleFunc("GET /v1/arrays/{name}", s.handleMeta)
+	mux.HandleFunc("GET /v1/arrays/{name}/section", s.handleRead)
+	mux.HandleFunc("PUT /v1/arrays/{name}/section", s.handleWrite)
+	mux.HandleFunc("GET /v1/arrays/{name}/stats", s.handleArrayStats)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Drx-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "anon"
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// arrayMeta is the metadata document of one array.
+type arrayMeta struct {
+	Name       string `json:"name"`
+	DType      string `json:"dtype"`
+	ElemSize   int    `json:"elem_size"`
+	Rank       int    `json:"rank"`
+	Bounds     []int  `json:"bounds"`
+	ChunkShape []int  `json:"chunk_shape"`
+	Order      string `json:"order"`
+}
+
+func metaOf(a *array) arrayMeta {
+	order := "C"
+	if a.f.Order() == drxmp.ColMajor {
+		order = "F"
+	}
+	return arrayMeta{
+		Name:       a.name,
+		DType:      a.f.DType().String(),
+		ElemSize:   a.f.DType().Size(),
+		Rank:       a.f.Rank(),
+		Bounds:     a.f.Bounds(),
+		ChunkShape: a.f.ChunkShape(),
+		Order:      order,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	metas := make([]arrayMeta, 0, len(s.arrays))
+	for _, a := range s.arrays {
+		metas = append(metas, metaOf(a))
+	}
+	s.mu.RUnlock()
+	writeJSON(w, metas)
+}
+
+func (s *Server) handleMeta(w http.ResponseWriter, r *http.Request) {
+	a := s.array(r.PathValue("name"))
+	if a == nil {
+		httpError(w, http.StatusNotFound, "no such array %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, metaOf(a))
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func (s *Server) handleArrayStats(w http.ResponseWriter, r *http.Request) {
+	a := s.array(r.PathValue("name"))
+	if a == nil {
+		httpError(w, http.StatusNotFound, "no such array %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, s.arrayStats(a))
+}
+
+// parseOrder maps the order query ("C" row-major default, "F"
+// column-major) to a grid order.
+func parseOrder(r *http.Request) (grid.Order, error) {
+	switch r.URL.Query().Get("order") {
+	case "", "C":
+		return drxmp.RowMajor, nil
+	case "F":
+		return drxmp.ColMajor, nil
+	default:
+		return drxmp.RowMajor, fmt.Errorf("order must be C or F")
+	}
+}
+
+// requestBox parses and validates the lo/hi query of a section request.
+func requestBox(r *http.Request, a *array) (grid.Box, error) {
+	return parseBox(r.URL.Query().Get("lo"), r.URL.Query().Get("hi"), a.f.Rank(), a.f.Bounds())
+}
+
+func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
+	a := s.array(r.PathValue("name"))
+	if a == nil {
+		httpError(w, http.StatusNotFound, "no such array %q", r.PathValue("name"))
+		return
+	}
+	tenant := tenantOf(r)
+	box, err := requestBox(r, a)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Errors++ })
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	order, err := parseOrder(r)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Errors++ })
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	es := int64(a.f.DType().Size())
+	n := box.Volume() * es
+
+	waited := a.adm.acquire(n)
+	defer a.adm.release(n)
+
+	// The fill granularity is the chunk-aligned cover of the request:
+	// chunk-equivalent requests share one single-flight key, and the
+	// coalescer merges overlapping aligned covers from distinct keys.
+	ab := alignBox(box, a.f.ChunkShape(), a.f.Bounds())
+	key := strconv.FormatInt(a.gen.Load(), 10) + "|" + ab.String()
+	var coalesced bool
+	buf, shared, err := a.fl.do(key, func() ([]byte, error) {
+		b, merged, err := a.co.read(ab)
+		coalesced = merged
+		return b, err
+	})
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Reads++; t.Errors++ })
+		httpError(w, http.StatusInternalServerError, "read %v: %v", box, err)
+		return
+	}
+	out := buf
+	if !box.Equal(ab) || order != drxmp.RowMajor {
+		out = sliceSection(buf, ab, box, es, order)
+	}
+	s.tenants.update(tenant, func(t *TenantStats) {
+		t.Requests++
+		t.Reads++
+		t.BytesOut += int64(len(out))
+		if waited {
+			t.QueueWaits++
+		}
+		if shared {
+			t.SingleFlightHits++
+		}
+		if coalesced {
+			t.CoalescedReads++
+		}
+	})
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if shared {
+		w.Header().Set("X-Drx-Single-Flight", "hit")
+	} else {
+		w.Header().Set("X-Drx-Single-Flight", "fill")
+	}
+	if coalesced {
+		w.Header().Set("X-Drx-Coalesced", "1")
+	}
+	if waited {
+		w.Header().Set("X-Drx-Queued", "1")
+	}
+	w.Write(out)
+}
+
+func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
+	a := s.array(r.PathValue("name"))
+	if a == nil {
+		httpError(w, http.StatusNotFound, "no such array %q", r.PathValue("name"))
+		return
+	}
+	tenant := tenantOf(r)
+	box, err := requestBox(r, a)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Errors++ })
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	order, err := parseOrder(r)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Errors++ })
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	es := int64(a.f.DType().Size())
+	n := box.Volume() * es
+	body, err := io.ReadAll(io.LimitReader(r.Body, n+1))
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Errors++ })
+		httpError(w, http.StatusBadRequest, "body: %v", err)
+		return
+	}
+	if int64(len(body)) != n {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Errors++ })
+		httpError(w, http.StatusBadRequest, "body of %d bytes for %d-byte section %v", len(body), n, box)
+		return
+	}
+
+	waited := a.adm.acquire(n)
+	defer a.adm.release(n)
+
+	if err := a.f.WriteSection(box, body, order); err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Writes++; t.Errors++ })
+		httpError(w, http.StatusInternalServerError, "write %v: %v", box, err)
+		return
+	}
+	// Completed writes invalidate the single-flight keyspace: a read
+	// issued after this point never shares a fill that predates it.
+	a.gen.Add(1)
+	s.tenants.update(tenant, func(t *TenantStats) {
+		t.Requests++
+		t.Writes++
+		t.BytesIn += n
+		if waited {
+			t.QueueWaits++
+		}
+	})
+	if waited {
+		w.Header().Set("X-Drx-Queued", "1")
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

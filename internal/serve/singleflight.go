@@ -1,0 +1,67 @@
+package serve
+
+import "sync"
+
+// flight is one in-progress cold fill. Waiters block on done; the
+// leader publishes buf/err before closing it. The buffer is shared
+// read-only by every waiter (responses slice copies out of it).
+type flight struct {
+	done chan struct{}
+	buf  []byte
+	err  error
+}
+
+// flightTable is the per-file single-flight table: one entry per
+// (aligned box, write generation) key while its fill is in progress,
+// so K concurrent cold readers of the same aligned range issue ONE
+// backing fetch and K-1 of them just block on the first fetcher —
+// instead of K server sweeps. Entries are removed when the fill
+// completes; warmth beyond the in-flight window is the extent cache's
+// job, not this table's.
+type flightTable struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+
+	fills int64 // fetches actually issued (flight leaders)
+	hits  int64 // requests served by someone else's in-flight fill
+}
+
+func newFlightTable() *flightTable {
+	return &flightTable{inflight: map[string]*flight{}}
+}
+
+// do returns the fill result for key, issuing fetch only if no fill
+// for key is already in flight. shared reports that the caller waited
+// on another request's fill (a single-flight hit).
+func (t *flightTable) do(key string, fetch func() ([]byte, error)) (buf []byte, shared bool, err error) {
+	t.mu.Lock()
+	if fl, ok := t.inflight[key]; ok {
+		t.hits++
+		t.mu.Unlock()
+		<-fl.done
+		return fl.buf, true, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	t.inflight[key] = fl
+	t.fills++
+	t.mu.Unlock()
+
+	fl.buf, fl.err = fetch()
+	t.mu.Lock()
+	delete(t.inflight, key)
+	t.mu.Unlock()
+	close(fl.done)
+	return fl.buf, false, fl.err
+}
+
+// FlightStats is the single-flight table's surfaced accounting.
+type FlightStats struct {
+	Fills int64 `json:"fills"`
+	Hits  int64 `json:"hits"`
+}
+
+func (t *flightTable) snapshot() FlightStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return FlightStats{Fills: t.fills, Hits: t.hits}
+}

@@ -15,7 +15,7 @@ func TestSyncWorkersResolution(t *testing.T) {
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := Create(c, "syncw", Options{
 			DType: Float64, ChunkShape: []int{4, 4}, Bounds: []int{8, 8},
-			Parallelism: -1, CollectiveParallelism: 6,
+			Tuning: Tuning{Parallelism: -1, CollectiveParallelism: 6},
 		})
 		if err != nil {
 			return err
