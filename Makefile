@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
 GO ?= go
 
-.PHONY: all build vet fmt test race race-collective race-serve bench bench-collective ci
+.PHONY: all build vet fmt test race race-collective race-serve race-fault bench bench-collective ci
 
 all: build
 
@@ -36,6 +36,16 @@ race-collective:
 race-serve:
 	$(GO) test -race -run 'Serve|Admission|Coalescer|SingleFlight' . ./internal/serve ./internal/exp
 
+# Fault-path + erasure suites under the race detector: degraded reads
+# race late straggler completions against reconstruction by design
+# (private-buffer handoff in internal/pfs), and the fault regression
+# tests drive injected failures through the queue, cache, serving and
+# collective layers (parity differential + degraded e2e at the root,
+# internal/ec property tests, internal/pfs degraded/fault suites,
+# internal/mpiio fallback suites, internal/serve panic-path pins).
+race-fault:
+	$(GO) test -race -run 'Erasure|Degraded|Fault' . ./internal/ec ./internal/pfs ./internal/mpiio ./internal/serve
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -44,12 +54,14 @@ bench:
 # scheduling, write-behind, and the read-cache warm/no-cache pair),
 # plus the BENCH_collective.json artifact (MB/s + seeks for FIFO vs
 # elevator, fixed vs adaptive cb_nodes, the E19 write-behind policy
-# rows, the E20 read-cache no-cache/cold/warm rows, and the ServeBench
+# rows, the E20 read-cache no-cache/cold/warm rows, the ServeBench
 # serving-tier rows: requests/s, coalesce ratio, single-flight hit
-# rate) that tracks the perf trajectory across PRs.
+# rate, and the E21 degraded-read rows: read p99 + reconstruction
+# counters for healthy/wait-straggler/degraded regimes) that tracks
+# the perf trajectory across PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json
 	@cat BENCH_collective.json
 
-ci: build vet fmt test race race-collective race-serve bench bench-collective
+ci: build vet fmt test race race-collective race-serve race-fault bench bench-collective

@@ -65,10 +65,18 @@ func main() {
 	// expects and joins when serving ends.
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		srv := serve.New(cfg)
-		var files []*drxmp.File
+		type served struct {
+			name string
+			f    *drxmp.File
+		}
+		var files []served
+		teardown := false
 		defer func() {
-			for _, f := range files {
-				f.Close()
+			if teardown {
+				return
+			}
+			for _, s := range files {
+				s.f.Close()
 			}
 		}()
 		if *demo != "" {
@@ -76,7 +84,7 @@ func main() {
 			if err != nil {
 				return err
 			}
-			files = append(files, f)
+			files = append(files, served{"demo", f})
 			if err := srv.Register("demo", f); err != nil {
 				return err
 			}
@@ -90,8 +98,8 @@ func main() {
 			if err != nil {
 				return fmt.Errorf("open %s: %w", path, err)
 			}
-			files = append(files, f)
 			name := filepath.Base(path)
+			files = append(files, served{name, f})
 			if err := srv.Register(name, f); err != nil {
 				return err
 			}
@@ -112,7 +120,30 @@ func main() {
 			fmt.Println("drxserve: shutting down")
 			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 			defer cancel()
-			return httpSrv.Shutdown(ctx)
+			err := httpSrv.Shutdown(ctx)
+			// With the handlers drained, make every buffered write
+			// durable before tearing the files down: PUT sections
+			// absorbed into the write-behind cache only exist in memory
+			// until a Sync flushes them, and the old close-only path
+			// silently dropped both sync and close failures.
+			teardown = true
+			for _, s := range files {
+				if serr := s.f.Sync(); serr != nil {
+					fmt.Fprintf(os.Stderr, "drxserve: sync %s: %v\n", s.name, serr)
+					if err == nil {
+						err = fmt.Errorf("sync %s: %w", s.name, serr)
+					}
+				}
+			}
+			for _, s := range files {
+				if cerr := s.f.Close(); cerr != nil {
+					fmt.Fprintf(os.Stderr, "drxserve: close %s: %v\n", s.name, cerr)
+					if err == nil {
+						err = fmt.Errorf("close %s: %w", s.name, cerr)
+					}
+				}
+			}
+			return err
 		}
 	})
 	if err != nil {

@@ -187,6 +187,91 @@ func TestIndependentIOFaultIsLocal(t *testing.T) {
 	}
 }
 
+// TestFaultDegradedCollectiveReadByteIdentical kills one I/O server
+// partway through a collective read of a parity-striped array
+// (permanent fault after its first two read requests) and requires the
+// collective to complete anyway: every rank's buffer byte-identical to
+// the written data, served by erasure reconstruction instead of an
+// error.
+func TestFaultDegradedCollectiveReadByteIdentical(t *testing.T) {
+	const ranks = 4
+	bufs := make([][]byte, ranks)
+	var degraded, reconBytes int64
+	done := make(chan error, 1)
+	go func() {
+		done <- cluster.Run(ranks, func(c *cluster.Comm) error {
+			f, err := Create(c, "fault-degraded", Options{
+				DType:      Float64,
+				ChunkShape: []int{8, 8},
+				Bounds:     []int{32, 32},
+				FS:         pfs.Options{Servers: 6, StripeSize: 512, Parity: 2},
+			})
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			full := NewBox([]int{0, 0}, f.Bounds())
+			if c.Rank() == 0 {
+				vals := make([]float64, full.Volume())
+				for i := range vals {
+					vals[i] = float64(i)*0.5 - 17
+				}
+				if err := f.WriteSection(full, encodeF64(vals), RowMajor); err != nil {
+					return err
+				}
+				// Server 1 dies mid-collective: its first two read
+				// requests are served, every later one fails permanently.
+				f.FS().SetInjector(&pfs.FaultPoint{
+					Server: 1, Op: pfs.FaultReads, After: 2, Permanent: true,
+				})
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			buf := make([]byte, full.Volume()*8)
+			if err := f.ReadSectionAll(full, buf, RowMajor); err != nil {
+				return err
+			}
+			bufs[c.Rank()] = buf
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				st := f.FS().Stats()
+				degraded, reconBytes = st.DegradedReads, st.ReconstructBytes
+			}
+			return nil
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("degraded collective read hung")
+	}
+	want := make([]float64, 32*32)
+	for i := range want {
+		want[i] = float64(i)*0.5 - 17
+	}
+	wantBytes := encodeF64(want)
+	for r, buf := range bufs {
+		if buf == nil {
+			t.Fatalf("rank %d returned no buffer", r)
+		}
+		if string(buf) != string(wantBytes) {
+			t.Fatalf("rank %d read differs from the written data under a dead server", r)
+		}
+		if string(buf) != string(bufs[0]) {
+			t.Fatalf("rank %d read differs from rank 0's", r)
+		}
+	}
+	if degraded == 0 || reconBytes == 0 {
+		t.Fatalf("no reconstruction recorded (degraded=%d bytes=%d): the dead server was never routed around", degraded, reconBytes)
+	}
+}
+
 type errFault string
 
 func (e errFault) Error() string { return string(e) }

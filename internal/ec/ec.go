@@ -1,0 +1,315 @@
+// Package ec implements systematic Reed-Solomon erasure coding over
+// GF(2^8) for stripe-width shards.
+//
+// A Code splits a stripe row into k data shards and m parity shards;
+// any k of the k+m shards reconstruct the rest. The generator matrix
+// is systematic with a column-normalized Cauchy parity block: the top
+// k rows are the identity (data shards pass through unchanged) and the
+// bottom m rows are C[j][t] = 1/(x_j + y_t) with disjoint x/y sets,
+// scaled per column so the first parity row is all ones. Every square
+// submatrix of a Cauchy matrix is nonsingular and nonzero row/column
+// scaling preserves that, so any k of the k+m shards remain
+// independent (MDS), while m == 1 parity degenerates to the plain XOR
+// of the data shards — the property tests pin this.
+//
+// Everything is pure Go table-driven GF(2^8) arithmetic (primitive
+// polynomial 0x11d); there are no dependencies and no assembly. Shards
+// in this repo are one pfs stripe unit wide, so the byte-at-a-time
+// inner loops are well within simulation budgets.
+package ec
+
+import "fmt"
+
+// GF(2^8) log/antilog tables for the primitive polynomial x^8 + x^4 +
+// x^3 + x^2 + 1 (0x11d). expTbl is doubled so gfMul can index
+// logA+logB without a mod-255 reduction.
+var (
+	logTbl [256]byte
+	expTbl [510]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTbl[i] = byte(x)
+		expTbl[i+255] = byte(x)
+		logTbl[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTbl[int(logTbl[a])+int(logTbl[b])]
+}
+
+func gfInv(a byte) byte {
+	// a must be non-zero; callers guard.
+	return expTbl[255-int(logTbl[a])]
+}
+
+// matrix is a dense GF(2^8) matrix, row major.
+type matrix [][]byte
+
+func newMatrix(rows, cols int) matrix {
+	m := make(matrix, rows)
+	for i := range m {
+		m[i] = make([]byte, cols)
+	}
+	return m
+}
+
+// invert returns the inverse of a square matrix via Gauss-Jordan
+// elimination, or an error if it is singular.
+func (a matrix) invert() (matrix, error) {
+	n := len(a)
+	// Work on a copy augmented with the identity.
+	work := newMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(work[i], a[i])
+		work[i][n+i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, fmt.Errorf("ec: singular matrix")
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		// Scale the pivot row to put 1 on the diagonal.
+		if d := work[col][col]; d != 1 {
+			inv := gfInv(d)
+			for j := 0; j < 2*n; j++ {
+				work[col][j] = gfMul(work[col][j], inv)
+			}
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col || work[r][col] == 0 {
+				continue
+			}
+			f := work[r][col]
+			for j := 0; j < 2*n; j++ {
+				work[r][j] ^= gfMul(f, work[col][j])
+			}
+		}
+	}
+	out := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out[i], work[i][n:])
+	}
+	return out, nil
+}
+
+// Code is a systematic Reed-Solomon k+m codec. Safe for concurrent use
+// (it is immutable after New).
+type Code struct {
+	k, m int
+	// gen is the (k+m)×k systematic generator matrix: top k rows are
+	// the identity, bottom m rows the parity coefficients.
+	gen matrix
+}
+
+// New builds a codec with k data shards and m parity shards.
+// m == 0 is allowed and yields a pass-through codec.
+func New(k, m int) (*Code, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("ec: need at least 1 data shard, got k=%d", k)
+	}
+	if m < 0 {
+		return nil, fmt.Errorf("ec: negative parity shard count m=%d", m)
+	}
+	if k+m > 255 {
+		return nil, fmt.Errorf("ec: k+m = %d exceeds GF(2^8) limit of 255", k+m)
+	}
+	gen := newMatrix(k+m, k)
+	for i := 0; i < k; i++ {
+		gen[i][i] = 1
+	}
+	// Cauchy parity block over disjoint index sets x_j = j (rows) and
+	// y_t = m+t (columns); x_j ^ y_t is never zero because the sets are
+	// disjoint, so every entry is well defined.
+	for j := 0; j < m; j++ {
+		for t := 0; t < k; t++ {
+			gen[k+j][t] = gfInv(byte(j) ^ byte(m+t))
+		}
+	}
+	// Normalize each column by its first parity entry so parity row 0
+	// is all ones (m == 1 parity is then the XOR of the data shards).
+	if m > 0 {
+		for t := 0; t < k; t++ {
+			inv := gfInv(gen[k][t])
+			for j := 0; j < m; j++ {
+				gen[k+j][t] = gfMul(gen[k+j][t], inv)
+			}
+		}
+	}
+	return &Code{k: k, m: m, gen: gen}, nil
+}
+
+// K returns the number of data shards.
+func (c *Code) K() int { return c.k }
+
+// M returns the number of parity shards.
+func (c *Code) M() int { return c.m }
+
+func (c *Code) checkShards(shards [][]byte, allowNil bool) (int, error) {
+	if len(shards) != c.k+c.m {
+		return 0, fmt.Errorf("ec: got %d shards, want %d", len(shards), c.k+c.m)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("ec: shard %d is nil", i)
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("ec: shard %d has %d bytes, others have %d", i, len(s), size)
+		}
+	}
+	if size < 0 {
+		return 0, fmt.Errorf("ec: all shards missing")
+	}
+	return size, nil
+}
+
+// Encode computes the m parity shards from the k data shards.
+// shards must hold k+m equal-length slices: the first k contain data,
+// the last m are overwritten with parity.
+func (c *Code) Encode(shards [][]byte) error {
+	if _, err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for j := 0; j < c.m; j++ {
+		row := c.gen[c.k+j]
+		out := shards[c.k+j]
+		for b := range out {
+			out[b] = 0
+		}
+		for t := 0; t < c.k; t++ {
+			coef := row[t]
+			if coef == 0 {
+				continue
+			}
+			in := shards[t]
+			if coef == 1 {
+				for b := range out {
+					out[b] ^= in[b]
+				}
+				continue
+			}
+			lc := int(logTbl[coef])
+			for b := range out {
+				if v := in[b]; v != 0 {
+					out[b] ^= expTbl[lc+int(logTbl[v])]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Reconstruct fills in every nil shard (data and parity) from the
+// present ones. At least k shards must be non-nil.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+// ReconstructData fills in only the nil data shards; missing parity
+// shards are left nil. At least k shards must be non-nil.
+func (c *Code) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+func (c *Code) reconstruct(shards [][]byte, parityToo bool) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	present := 0
+	for _, s := range shards {
+		if s != nil {
+			present++
+		}
+	}
+	if present < c.k {
+		return fmt.Errorf("ec: only %d of %d shards present, need %d", present, c.k+c.m, c.k)
+	}
+	missingData := false
+	for i := 0; i < c.k; i++ {
+		if shards[i] == nil {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		// Pick k present shards; their generator rows stacked form an
+		// invertible k×k matrix whose inverse maps them back to data.
+		rows := make(matrix, 0, c.k)
+		srcIdx := make([]int, 0, c.k)
+		for i := 0; i < c.k+c.m && len(rows) < c.k; i++ {
+			if shards[i] != nil {
+				rows = append(rows, c.gen[i])
+				srcIdx = append(srcIdx, i)
+			}
+		}
+		sub := newMatrix(c.k, c.k)
+		for i, r := range rows {
+			copy(sub[i], r)
+		}
+		dec, err := sub.invert()
+		if err != nil {
+			return err // unreachable: any k generator rows are independent
+		}
+		for d := 0; d < c.k; d++ {
+			if shards[d] != nil {
+				continue
+			}
+			out := make([]byte, size)
+			for t := 0; t < c.k; t++ {
+				coef := dec[d][t]
+				if coef == 0 {
+					continue
+				}
+				in := shards[srcIdx[t]]
+				lc := int(logTbl[coef])
+				for b := range out {
+					if v := in[b]; v != 0 {
+						if coef == 1 {
+							out[b] ^= v
+						} else {
+							out[b] ^= expTbl[lc+int(logTbl[v])]
+						}
+					}
+				}
+			}
+			shards[d] = out
+		}
+	}
+	if parityToo {
+		// Data is complete now; recompute any missing parity directly.
+		for j := 0; j < c.m; j++ {
+			if shards[c.k+j] != nil {
+				continue
+			}
+			shards[c.k+j] = make([]byte, size)
+		}
+		return c.Encode(shards)
+	}
+	return nil
+}

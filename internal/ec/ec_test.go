@@ -1,0 +1,163 @@
+package ec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func randShards(rng *rand.Rand, k, m, size int) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := 0; i < k; i++ {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	for j := 0; j < m; j++ {
+		shards[k+j] = make([]byte, size)
+	}
+	return shards
+}
+
+// TestErasureRoundTripAnyLosses is the core property test: for random
+// geometries and random data, knock out any subset of up to m shards
+// and verify Reconstruct recovers every one of them exactly.
+func TestErasureRoundTripAnyLosses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.Intn(8)
+		m := rng.Intn(4)
+		size := 1 + rng.Intn(64)
+		c, err := New(k, m)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", k, m, err)
+		}
+		shards := randShards(rng, k, m, size)
+		if err := c.Encode(shards); err != nil {
+			t.Fatalf("Encode(k=%d,m=%d): %v", k, m, err)
+		}
+		want := make([][]byte, len(shards))
+		for i, s := range shards {
+			want[i] = append([]byte(nil), s...)
+		}
+		// Kill a random subset of up to m shards (possibly zero).
+		lost := rng.Perm(k + m)[:rng.Intn(m+1)]
+		for _, i := range lost {
+			shards[i] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatalf("Reconstruct(k=%d,m=%d,lost=%v): %v", k, m, lost, err)
+		}
+		for i := range shards {
+			if !bytes.Equal(shards[i], want[i]) {
+				t.Fatalf("k=%d m=%d lost=%v: shard %d differs after reconstruction", k, m, lost, i)
+			}
+		}
+	}
+}
+
+// TestErasureReconstructDataOnly checks the data-only variant leaves
+// missing parity nil but restores every data shard.
+func TestErasureReconstructDataOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := randShards(rng, 4, 2, 32)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), shards[1]...)
+	shards[1] = nil // lose a data shard
+	shards[5] = nil // and a parity shard
+	if err := c.ReconstructData(shards); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(shards[1], want) {
+		t.Fatal("data shard not reconstructed")
+	}
+	if shards[5] != nil {
+		t.Fatal("ReconstructData touched a parity shard")
+	}
+}
+
+// TestErasureSingleParityIsXOR pins the systematic construction: with
+// m == 1 the parity row is all ones, so parity is the plain XOR of the
+// data shards.
+func TestErasureSingleParityIsXOR(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		c, err := New(k, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards := randShards(rng, k, 1, 48)
+		if err := c.Encode(shards); err != nil {
+			t.Fatal(err)
+		}
+		xor := make([]byte, 48)
+		for i := 0; i < k; i++ {
+			for b := range xor {
+				xor[b] ^= shards[i][b]
+			}
+		}
+		if !bytes.Equal(shards[k], xor) {
+			t.Fatalf("k=%d: single parity shard is not the XOR of the data", k)
+		}
+	}
+}
+
+// TestErasureTooManyLosses: losing more than m shards must error, not
+// silently fabricate data.
+func TestErasureTooManyLosses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := New(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := randShards(rng, 3, 2, 16)
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[2], shards[4] = nil, nil, nil
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("Reconstruct with k-1 shards present should fail")
+	}
+}
+
+// TestErasureValidation covers constructor and shard-shape errors.
+func TestErasureValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("New(0,1) should fail")
+	}
+	if _, err := New(4, -1); err == nil {
+		t.Fatal("New(4,-1) should fail")
+	}
+	if _, err := New(200, 56); err == nil {
+		t.Fatal("New over the GF(2^8) limit should fail")
+	}
+	c, err := New(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Encode([][]byte{{1}, {2}}); err == nil {
+		t.Fatal("Encode with wrong shard count should fail")
+	}
+	if err := c.Encode([][]byte{{1}, {2, 3}, {0}}); err == nil {
+		t.Fatal("Encode with ragged shards should fail")
+	}
+	// m == 0 pass-through codec: Encode is a no-op, Reconstruct needs
+	// every shard present.
+	c0, err := New(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := [][]byte{{1}, {2}, {3}}
+	if err := c0.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[1] = nil
+	if err := c0.Reconstruct(shards); err == nil {
+		t.Fatal("m=0 Reconstruct with a missing shard should fail")
+	}
+}

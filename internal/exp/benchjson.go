@@ -24,6 +24,11 @@ type CollectiveBenchResult struct {
 	ReqPerSec     float64 `json:"req_per_sec,omitempty"`
 	CoalesceRatio float64 `json:"coalesce_ratio,omitempty"`
 	SFHitRate     float64 `json:"single_flight_hit_rate,omitempty"`
+
+	// Degraded-read rows only (DegradedBench): the read-latency tail
+	// and how many segments were served by erasure reconstruction.
+	ReadP99MS     float64 `json:"read_p99_ms,omitempty"`
+	DegradedReads int64   `json:"degraded_reads,omitempty"`
 }
 
 // CollectiveBench runs one write_all+read_all round of the E18
@@ -117,9 +122,9 @@ func ReadCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
 }
 
 // WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench,
-// ReadCacheBench and ServeBench and writes the combined rows to path
-// as indented JSON — the BENCH_collective.json artifact CI uploads per
-// PR.
+// ReadCacheBench, ServeBench and DegradedBench and writes the combined
+// rows to path as indented JSON — the BENCH_collective.json artifact
+// CI uploads per PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
 	rows, err := CollectiveBench(sc)
 	if err != nil {
@@ -140,6 +145,11 @@ func WriteCollectiveBenchJSON(path string, sc Scale) error {
 		return err
 	}
 	rows = append(rows, svRows...)
+	dgRows, err := DegradedBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, dgRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

@@ -400,7 +400,14 @@ func (w *fileCache) FlushAll() error {
 		w.stats.Flushes++
 	}
 	w.mu.Unlock()
-	return w.flushExtents(ext)
+	if err := w.flushExtents(ext); err != nil {
+		// The extents were removed before the sweep; putting their
+		// bytes back keeps the dirty data buffered for a retry instead
+		// of silently dropping it on a failed flush.
+		w.restoreDirty(ext)
+		return err
+	}
+	return nil
 }
 
 // FlushIntersecting writes back exactly the dirty extents that overlap
@@ -439,7 +446,36 @@ func (w *fileCache) FlushIntersecting(runs []pfs.Run) error {
 	w.ext = keep
 	w.stats.Flushes++
 	w.mu.Unlock()
-	return w.flushExtents(flush)
+	if err := w.flushExtents(flush); err != nil {
+		w.restoreDirty(flush)
+		return err
+	}
+	return nil
+}
+
+// restoreDirty reinserts extents that a wb-only flush removed from the
+// cache before its FlushV sweep failed, so the dirty bytes survive for
+// a retry. Each extent's bytes return dirty only where the cache is
+// currently uncovered: anything absorbed since the removal is newer
+// and wins. Callers hold flushMu (the sweep that failed), never mu.
+func (w *fileCache) restoreDirty(ext []*cext) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for _, e := range ext {
+		cur := make([]pfs.Run, len(w.ext))
+		for i, c := range w.ext {
+			cur[i] = pfs.Run{Off: c.off, Len: int64(len(c.data))}
+		}
+		for _, g := range extent.Holes(pfs.Run{Off: e.off, Len: int64(len(e.data))}, cur) {
+			w.clock++
+			data := e.data[g.Off-e.off : g.Off-e.off+g.Len]
+			i := sort.Search(len(w.ext), func(k int) bool { return w.ext[k].off > g.Off })
+			w.insertAtLocked(i, &cext{off: g.Off, data: data, dirty: true, use: w.clock})
+			w.dirty += g.Len
+			w.total += g.Len
+		}
+	}
+	w.gen++
 }
 
 // flushMarkCleanLocked is the caching-mode flush: write the victim
@@ -687,7 +723,13 @@ func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
 	}
 	temp := make([]byte, ftotal)
 	if _, err := w.fs.SieveReadV(fetch, temp); err != nil {
-		return err
+		// Degraded fallback: the sieve plan reads MORE than the caller
+		// asked for (block rounding plus read-ahead), so a failure in
+		// that speculative territory must not fail the demand read.
+		// Retry with exactly the uncovered holes, straight into the
+		// caller's buffer, and skip cache population — the cache only
+		// ever holds whole verified blocks.
+		return w.readHolesDirect(holes, buf)
 	}
 	// tempAt maps a file offset inside the fetched blocks to its packed
 	// position in temp (every hole lies within one coalesced block).
@@ -747,5 +789,30 @@ func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
 	}
 	w.evictCleanLocked()
 	w.mu.Unlock()
+	return nil
+}
+
+// readHolesDirect is ReadThrough's fallback when the sieve-aligned
+// fetch fails: a tight vectored read of exactly the uncovered holes,
+// placed straight into the caller's buffer. No sieve attribution, no
+// read-ahead, no cache insert — the minimal demand I/O that can still
+// satisfy the caller when part of the speculative fetch range is
+// unreachable.
+func (w *fileCache) readHolesDirect(holes []hole, buf []byte) error {
+	runs := make([]pfs.Run, len(holes))
+	var total int64
+	for i, h := range holes {
+		runs[i] = pfs.Run{Off: h.off, Len: h.n}
+		total += h.n
+	}
+	tight := make([]byte, total)
+	if _, err := w.fs.ReadV(runs, tight); err != nil {
+		return err
+	}
+	var at int64
+	for _, h := range holes {
+		copy(buf[h.bufAt:h.bufAt+h.n], tight[at:at+h.n])
+		at += h.n
+	}
 	return nil
 }

@@ -1,0 +1,431 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// degradedFS builds a parity-striped in-memory FS.
+func degradedFS(t *testing.T, opts Options) *FS {
+	t.Helper()
+	fs, err := Create("degraded", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+func pattern(n int, seed int64) []byte {
+	p := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(p)
+	return p
+}
+
+// TestDegradedReadDeadServer: with one data server permanently dead to
+// reads, a striped read completes via reconstruction, byte-identical
+// to the healthy read, and the degraded counters move.
+func TestDegradedReadDeadServer(t *testing.T) {
+	fs := degradedFS(t, Options{Servers: 5, Parity: 2, StripeSize: 64})
+	want := pattern(5*64*3, 1) // several full parity rows plus change
+	if _, err := fs.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	healthy := make([]byte, len(want))
+	if _, err := fs.ReadAt(healthy, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(healthy, want) {
+		t.Fatal("healthy read differs from written data")
+	}
+	fs.SetInjector(&FaultPoint{Server: 1, Op: FaultReads, Permanent: true})
+	got := make([]byte, len(want))
+	if _, err := fs.ReadAt(got, 0); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("degraded read differs from healthy read")
+	}
+	st := fs.Stats()
+	if st.DegradedReads == 0 {
+		t.Fatal("no degraded reads counted")
+	}
+	if st.ReconstructBytes == 0 {
+		t.Fatal("no reconstructed bytes counted")
+	}
+}
+
+// TestDegradedReadUnalignedRanges sweeps odd offsets/lengths (partial
+// stripe units, cross-row spans) against a dead server.
+func TestDegradedReadUnalignedRanges(t *testing.T) {
+	const stripe = 32
+	fs := degradedFS(t, Options{Servers: 4, Parity: 1, StripeSize: stripe})
+	want := pattern(3*stripe*7+11, 2)
+	if _, err := fs.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetInjector(&FaultPoint{Server: 0, Op: FaultReads, Permanent: true})
+	for _, r := range []struct{ off, n int64 }{
+		{0, 1}, {1, stripe - 2}, {stripe - 1, 2}, {0, 3 * stripe},
+		{stripe + 5, 4*stripe + 7}, {2*3*stripe - 3, 3*stripe + 6},
+	} {
+		got := make([]byte, r.n)
+		if _, err := fs.ReadAt(got, r.off); err != nil {
+			t.Fatalf("read(%d,%d): %v", r.off, r.n, err)
+		}
+		if !bytes.Equal(got, want[r.off:r.off+r.n]) {
+			t.Fatalf("read(%d,%d) differs after reconstruction", r.off, r.n)
+		}
+	}
+}
+
+// TestDegradedWriteParityMaintained: partial overwrites at odd offsets
+// must keep parity consistent, so a later degraded read still matches.
+func TestDegradedWriteParityMaintained(t *testing.T) {
+	const stripe = 64
+	fs := degradedFS(t, Options{Servers: 5, Parity: 2, StripeSize: stripe})
+	want := pattern(5*stripe*4, 3)
+	if _, err := fs.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite a few odd sub-ranges, mirroring into want.
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 10; i++ {
+		off := rng.Int63n(int64(len(want)) - 1)
+		n := 1 + rng.Int63n(int64(len(want))-off)
+		upd := pattern(int(n), int64(100+i))
+		if _, err := fs.WriteAt(upd, off); err != nil {
+			t.Fatal(err)
+		}
+		copy(want[off:], upd)
+	}
+	for _, dead := range []int{0, 2} {
+		fs.SetInjector(&FaultPoint{Server: dead, Op: FaultReads, Permanent: true})
+		got := make([]byte, len(want))
+		if _, err := fs.ReadAt(got, 0); err != nil {
+			t.Fatalf("degraded read (server %d dead): %v", dead, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("degraded read differs after overwrites (server %d dead)", dead)
+		}
+		fs.SetInjector(nil)
+	}
+}
+
+// TestDegradedReadVectored covers the ReadV path (and FlushV-fed data)
+// under a dead server.
+func TestDegradedReadVectored(t *testing.T) {
+	const stripe = 32
+	fs := degradedFS(t, Options{Servers: 4, Parity: 1, StripeSize: stripe, Scheduler: Elevator})
+	want := pattern(3*stripe*5, 5)
+	if _, err := fs.FlushV([]Run{{Off: 0, Len: int64(len(want))}}, want); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetInjector(&FaultPoint{Server: 2, Op: FaultReads, Permanent: true})
+	runs := []Run{{Off: 3, Len: 40}, {Off: 100, Len: 170}, {Off: 400, Len: 64}}
+	var total int64
+	for _, r := range runs {
+		total += r.Len
+	}
+	buf := make([]byte, total)
+	if _, err := fs.ReadV(runs, buf); err != nil {
+		t.Fatalf("degraded ReadV: %v", err)
+	}
+	var at int64
+	for _, r := range runs {
+		if !bytes.Equal(buf[at:at+r.Len], want[r.Off:r.Off+r.Len]) {
+			t.Fatalf("run at %d differs", r.Off)
+		}
+		at += r.Len
+	}
+}
+
+// TestDegradedReadTooManyFailures: losing more servers than parity can
+// cover must surface an error, not hang or fabricate bytes.
+func TestDegradedReadTooManyFailures(t *testing.T) {
+	fs := degradedFS(t, Options{Servers: 4, Parity: 1, StripeSize: 32})
+	want := pattern(3*32*2, 6)
+	if _, err := fs.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetInjector(Multi{
+		&FaultPoint{Server: 0, Op: FaultReads, Permanent: true},
+		&FaultPoint{Server: 1, Op: FaultReads, Permanent: true},
+	})
+	got := make([]byte, len(want))
+	if _, err := fs.ReadAt(got, 0); err == nil {
+		t.Fatal("read with two dead servers and one parity shard should fail")
+	}
+}
+
+// TestDegradedReadDeadline: a straggler far beyond the deadline is
+// abandoned and reconstructed; the read returns correct bytes well
+// before the straggler would have finished.
+func TestDegradedReadDeadline(t *testing.T) {
+	const stripe = 1 << 10
+	slowSvc := 50 * time.Millisecond
+	fs := degradedFS(t, Options{
+		Servers:    5,
+		Parity:     1,
+		StripeSize: stripe,
+		Cost: CostModel{
+			RequestOverhead: time.Millisecond,
+			RealTime:        true,
+			SlowFactor:      []float64{float64(slowSvc / time.Millisecond)},
+		},
+		DegradedReadFactor: 2,
+	})
+	want := pattern(4*stripe*2, 7) // 2 units per data server
+	if _, err := fs.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(want))
+	start := time.Now()
+	if _, err := fs.ReadAt(got, 0); err != nil {
+		t.Fatalf("degraded read: %v", err)
+	}
+	wall := time.Since(start)
+	if !bytes.Equal(got, want) {
+		t.Fatal("deadline-reconstructed read differs")
+	}
+	if st := fs.Stats(); st.DegradedReads == 0 {
+		t.Fatal("straggler segments were not reconstructed")
+	}
+	// The straggler owes 2 services x 50ms; the deadline is 2 x the
+	// nominal per-server time (a few ms). Allow generous slack for CI.
+	if wall >= 2*slowSvc {
+		t.Fatalf("read took %v, no better than waiting on the straggler", wall)
+	}
+}
+
+// TestDegradedReadAvoidsSlowServer: proactive avoidance never
+// dispatches to the flagged straggler at all.
+func TestDegradedReadAvoidsSlowServer(t *testing.T) {
+	fs := degradedFS(t, Options{
+		Servers:    5,
+		Parity:     2,
+		StripeSize: 64,
+		Cost:       CostModel{SlowFactor: []float64{1, 1, 8}},
+		// No RealTime: avoidance is purely the slow flag, no deadline.
+		AvoidSlowFactor: 4,
+	})
+	want := pattern(3*64*4, 8)
+	if _, err := fs.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	got := make([]byte, len(want))
+	if _, err := fs.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("avoided read differs")
+	}
+	st := fs.Stats()
+	if st.PerServer[2].Reads != 0 {
+		t.Fatalf("slow server was dispatched %d reads despite AvoidSlowFactor", st.PerServer[2].Reads)
+	}
+	if st.DegradedReads == 0 {
+		t.Fatal("avoided segments were not counted as degraded")
+	}
+}
+
+// TestDegradedParityOffIdentical pins the m=0 degenerate case: layout,
+// bytes, and per-server accounting are identical to a pre-parity FS.
+func TestDegradedParityOffIdentical(t *testing.T) {
+	a := degradedFS(t, Options{Servers: 4, StripeSize: 64})
+	b := degradedFS(t, Options{Servers: 4, StripeSize: 64, Parity: 0, DegradedReadFactor: 2, AvoidSlowFactor: 2})
+	data := pattern(4*64*3+17, 9)
+	for _, fs := range []*FS{a, b} {
+		if _, err := fs.WriteAt(data, 5); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, len(data))
+		if _, err := fs.ReadAt(got, 5); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("read differs")
+		}
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Requests() != sb.Requests() || sa.Bytes() != sb.Bytes() || sa.Seeks() != sb.Seeks() {
+		t.Fatalf("m=0 accounting differs from pre-parity: %+v vs %+v", sa, sb)
+	}
+	if sb.DegradedReads != 0 {
+		t.Fatal("m=0 FS counted degraded reads")
+	}
+}
+
+// TestDegradedGeometryValidation rejects nonsensical parity configs.
+func TestDegradedGeometryValidation(t *testing.T) {
+	if _, err := Create("bad", Options{Servers: 2, Parity: 2}); err == nil {
+		t.Fatal("parity == servers should fail (no data servers)")
+	}
+	if _, err := Create("bad", Options{Servers: 2, Parity: -1}); err == nil {
+		t.Fatal("negative parity should fail")
+	}
+}
+
+// TestFaultSeekAccountingConsistent (bugfix pin): an injector-failed
+// request must leave seek accounting exactly as if the failed request
+// had never been submitted — on the queued path, the post-Close sync
+// path, and a control FS that only ever saw the surviving requests.
+func TestFaultSeekAccountingConsistent(t *testing.T) {
+	const stripe = 64
+	mk := func() *FS { return degradedFS(t, Options{Servers: 2, StripeSize: stripe}) }
+	seed := pattern(2*stripe*4, 10)
+
+	// Reads whose third segment (server 0, second unit) is refused.
+	failing := func(fs *FS, inject bool) {
+		if _, err := fs.WriteAt(seed, 0); err != nil {
+			t.Fatal(err)
+		}
+		fs.ResetStats()
+		if inject {
+			// Segment order for [0, 3*stripe): s0u0, s1u0, s0u1 — fail
+			// the third submission (server 0's second read).
+			fs.SetInjector(&FaultPoint{Server: 0, Op: FaultReads, After: 1})
+		}
+		buf := make([]byte, 3*stripe)
+		_, err := fs.ReadAt(buf, 0)
+		if inject && err == nil {
+			t.Fatal("injected read survived")
+		}
+		if !inject && err != nil {
+			t.Fatal(err)
+		}
+		fs.SetInjector(nil)
+		// Follow-up read that lands exactly where the failed request
+		// would have ended: if the failed request had (wrongly)
+		// advanced lastEnd, this would not charge a seek.
+		if _, err := fs.ReadAt(make([]byte, stripe), 2*stripe); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	qfs := mk()
+	failing(qfs, true)
+	qStats := qfs.Stats()
+
+	// Control: the same surviving requests, no injector — the first
+	// vector only submits its pre-failure segments (s0u0, s1u0).
+	cfs := mk()
+	if _, err := cfs.WriteAt(seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	cfs.ResetStats()
+	if _, err := cfs.ReadAt(make([]byte, stripe), 0); err != nil { // s0u0
+		t.Fatal(err)
+	}
+	if _, err := cfs.ReadAt(make([]byte, stripe), stripe); err != nil { // s1u0
+		t.Fatal(err)
+	}
+	if _, err := cfs.ReadAt(make([]byte, stripe), 2*stripe); err != nil {
+		t.Fatal(err)
+	}
+	cStats := cfs.Stats()
+	for s := 0; s < 2; s++ {
+		if qStats.PerServer[s].Seeks != cStats.PerServer[s].Seeks ||
+			qStats.PerServer[s].Reads != cStats.PerServer[s].Reads ||
+			qStats.PerServer[s].BytesRead != cStats.PerServer[s].BytesRead {
+			t.Fatalf("server %d accounting diverged after injected failure: %+v vs control %+v",
+				s, qStats.PerServer[s], cStats.PerServer[s])
+		}
+	}
+
+	// Post-Close sync path must account identically to the queued path.
+	sfs := mk()
+	if _, err := sfs.WriteAt(seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	sfs.stopQueues()
+	sfs.ResetStats()
+	sfs.SetInjector(&FaultPoint{Server: 0, Op: FaultReads, After: 1})
+	if _, err := sfs.ReadAt(make([]byte, 3*stripe), 0); err == nil {
+		t.Fatal("injected sync read survived")
+	}
+	sfs.SetInjector(nil)
+	if _, err := sfs.ReadAt(make([]byte, stripe), 2*stripe); err != nil {
+		t.Fatal(err)
+	}
+	sStats := sfs.Stats()
+	for s := 0; s < 2; s++ {
+		if sStats.PerServer[s].Seeks != qStats.PerServer[s].Seeks {
+			t.Fatalf("server %d: sync-path seeks %d != queued-path seeks %d",
+				s, sStats.PerServer[s].Seeks, qStats.PerServer[s].Seeks)
+		}
+	}
+}
+
+// TestFaultCloseDrainsDeadServerQueue (bugfix pin): Close must drain
+// and stop cleanly while a permanently failed server has a backlog of
+// degraded traffic in flight.
+func TestFaultCloseDrainsDeadServerQueue(t *testing.T) {
+	fs, err := Create("drain", Options{
+		Servers:    4,
+		Parity:     1,
+		StripeSize: 256,
+		Cost:       CostModel{RequestOverhead: 200 * time.Microsecond, RealTime: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := pattern(3*256*4, 11)
+	if _, err := fs.WriteAt(data, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetInjector(&FaultPoint{Server: 1, Op: FaultAnyOp, Permanent: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for i := 0; i < 4; i++ {
+				fs.ReadAt(buf, int64((g*4+i)*128)%int64(len(data)-512))
+			}
+		}(g)
+	}
+	wg.Wait()
+	done := make(chan error, 1)
+	go func() { done <- fs.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung draining a dead server's queue")
+	}
+	// Post-Close reads fall into the sync path and still reconstruct.
+	got := make([]byte, 512)
+	if _, err := fs.ReadAt(got, 0); err != nil {
+		t.Fatalf("post-Close degraded read: %v", err)
+	}
+	if !bytes.Equal(got, data[:512]) {
+		t.Fatal("post-Close degraded read differs")
+	}
+}
+
+// TestDegradedReadErrorIsInjected: when reconstruction is impossible,
+// the surfaced error chains back to the injected failure.
+func TestDegradedReadErrorIsInjected(t *testing.T) {
+	fs := degradedFS(t, Options{Servers: 3, Parity: 1, StripeSize: 32})
+	if _, err := fs.WriteAt(pattern(2*32*2, 12), 0); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("controller offline")
+	fs.SetInjector(Multi{
+		&FaultPoint{Server: 0, Op: FaultReads, Permanent: true, Err: sentinel},
+		&FaultPoint{Server: 1, Op: FaultReads, Permanent: true, Err: sentinel},
+	})
+	_, err := fs.ReadAt(make([]byte, 2*32*2), 0)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the injected sentinel", err)
+	}
+}

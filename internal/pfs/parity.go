@@ -1,0 +1,522 @@
+// parity.go implements erasure-coded striping across the simulated I/O
+// servers: Reed-Solomon k+m parity maintenance on the write path and a
+// straggler-avoiding degraded read path, in the mold of the
+// hdpsr/Grasure designs (per-disk slow flags, fastest-k
+// reconstruction).
+//
+// Layout. With Options.Parity = m > 0, data stripes round-robin over
+// the first k = Servers-m servers (locate in pfs.go) and the last m
+// servers are parity-only, RAID-4 style: parity row r — the k data
+// units of striping round r — stores its j-th coded unit on server k+j
+// at server-local offset r*StripeSize, the same local offset its data
+// units occupy on their servers. A shard of row r is therefore
+// addressed uniformly by its server index, which is what lets the
+// degraded path turn a failed read segment straight into a
+// reconstruction over the other servers.
+//
+// Writes. After a write dispatch completes, every touched parity row
+// is re-encoded from the stored data units and the coded units are
+// dispatched as ordinary (charged, injectable) writes to the parity
+// servers. The row reads are deliberately uncharged: they model the
+// parity engine's server-local read-modify-write, not client traffic.
+// parityMu serializes the read-encode-write cycle, so the last writer
+// of a row — which by the lock ordering has observed every completed
+// data write — stores the parity of the final data state.
+//
+// Degraded reads. Read segments are dispatched with private buffers;
+// a segment that is refused by the failure injector, errors in
+// service, exceeds the straggler deadline (DegradedReadFactor × the
+// nominal max per-server service time, RealTime cost models only), or
+// targets a server at or beyond AvoidSlowFactor is reconstructed: the
+// same byte sub-range of the row's other shards is fetched from the
+// fastest k of the remaining k+m-1 servers (ranked by slow factor,
+// then queue backlog), and the missing shard is decoded. Private
+// buffers make abandoning a straggler safe — its late completion
+// lands in memory nobody reads — and byte-range decoding works
+// because Reed-Solomon over GF(2^8) is bytewise.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"drxmp/internal/ec"
+)
+
+// initParity validates the parity geometry and builds the codec.
+// Called from Create and Open after withDefaults.
+func (fs *FS) initParity() error {
+	m := fs.opts.Parity
+	if m < 0 {
+		return fmt.Errorf("pfs: negative parity server count %d", m)
+	}
+	if m == 0 {
+		return nil
+	}
+	k := fs.opts.Servers - m
+	if k < 1 {
+		return fmt.Errorf("pfs: parity %d leaves no data servers (servers %d)", m, fs.opts.Servers)
+	}
+	code, err := ec.New(k, m)
+	if err != nil {
+		return fmt.Errorf("pfs: %w", err)
+	}
+	fs.code = code
+	return nil
+}
+
+// dataServers returns the number of servers holding data stripes.
+func (fs *FS) dataServers() int { return fs.opts.Servers - fs.opts.Parity }
+
+// parityRowBatch bounds how many rows one parity sweep encodes before
+// dispatching, which bounds the coded-unit buffers held in memory for
+// huge writes.
+const parityRowBatch = 64
+
+// updateParity re-encodes every parity row intersecting runs and
+// writes the coded units to the parity servers. No-op when parity is
+// off. Callers invoke it after their data dispatch completed.
+func (fs *FS) updateParity(runs []Run) error {
+	if fs.code == nil || len(runs) == 0 {
+		return nil
+	}
+	k, m := fs.code.K(), fs.code.M()
+	stripe := fs.opts.StripeSize
+	rowBytes := int64(k) * stripe
+	rowSet := make(map[int64]struct{})
+	for _, r := range runs {
+		if r.Len <= 0 {
+			continue
+		}
+		for row := r.Off / rowBytes; row <= (r.Off+r.Len-1)/rowBytes; row++ {
+			rowSet[row] = struct{}{}
+		}
+	}
+	rows := make([]int64, 0, len(rowSet))
+	for row := range rowSet {
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+
+	fs.parityMu.Lock()
+	defer fs.parityMu.Unlock()
+	shards := make([][]byte, k+m)
+	for start := 0; start < len(rows); start += parityRowBatch {
+		end := start + parityRowBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		segs := make([]ioSeg, 0, (end-start)*m)
+		for _, row := range rows[start:end] {
+			// The parity engine's local read-modify-write: load the
+			// row's stored data units uncharged (holes read as zeros,
+			// and zero data encodes to zero parity, so never-written
+			// rows stay consistent).
+			for c := 0; c < k; c++ {
+				buf := make([]byte, stripe)
+				sv := fs.servers[c]
+				sv.mu.Lock()
+				err := sv.loadLocked(buf, row*stripe)
+				sv.mu.Unlock()
+				if err != nil {
+					return fmt.Errorf("pfs: parity row %d read: %w", row, err)
+				}
+				shards[c] = buf
+			}
+			for j := 0; j < m; j++ {
+				shards[k+j] = make([]byte, stripe)
+			}
+			if err := fs.code.Encode(shards); err != nil {
+				return err
+			}
+			for j := 0; j < m; j++ {
+				segs = append(segs, ioSeg{server: k + j, off: row * stripe, p: shards[k+j], write: true})
+			}
+		}
+		if _, err := fs.dispatch(segs); err != nil {
+			return fmt.Errorf("pfs: parity update: %w", err)
+		}
+	}
+	return nil
+}
+
+// avoidServer reports whether reads should proactively skip the server
+// (its slow factor is at or beyond Options.AvoidSlowFactor).
+func (fs *FS) avoidServer(s int) bool {
+	t := fs.opts.AvoidSlowFactor
+	return t > 0 && fs.servers[s].slow >= t
+}
+
+// readDeadline returns the straggler deadline for a read vector: the
+// configured factor times the nominal (SlowFactor-free) max per-server
+// service time of the vector, seek surcharge included as slack. Zero
+// means no deadline (non-RealTime cost models, or factor < 0).
+func (fs *FS) readDeadline(segs []ioSeg) time.Duration {
+	c := fs.opts.Cost
+	if !c.RealTime {
+		return 0
+	}
+	f := fs.opts.DegradedReadFactor
+	if f < 0 {
+		return 0
+	}
+	if f == 0 {
+		f = 3
+	}
+	per := make([]time.Duration, fs.opts.Servers)
+	for i := range segs {
+		s := &segs[i]
+		per[s.server] += c.RequestOverhead + c.SeekLatency + time.Duration(len(s.p))*c.ByteTime
+	}
+	var max time.Duration
+	for _, d := range per {
+		if d > max {
+			max = d
+		}
+	}
+	return time.Duration(float64(max) * f)
+}
+
+// dispatchDegraded is the read-side dispatch when parity is on. Every
+// segment goes out with a private buffer; segments that fail, time
+// out, or are proactively avoided collect into a reconstruction list
+// and are decoded from the surviving shards. On success the call is
+// byte-identical to a healthy dispatch.
+func (fs *FS) dispatchDegraded(segs []ioSeg) (int64, error) {
+	var recon []int
+	fs.qmu.RLock()
+	if fs.qclosed || fs.queues == nil {
+		fs.qmu.RUnlock()
+		// Post-Close synchronous path: serve in the caller, diverting
+		// failures to reconstruction.
+		for i := range segs {
+			s := &segs[i]
+			if fs.avoidServer(s.server) {
+				recon = append(recon, i)
+				continue
+			}
+			if err := fs.inject(s.server, false, s.off, int64(len(s.p))); err != nil {
+				recon = append(recon, i)
+				continue
+			}
+			sv := fs.servers[s.server]
+			d, err := sv.readAt(s.p, s.off, s.sieve)
+			if sv.cost.RealTime && d > 0 {
+				time.Sleep(d)
+			}
+			if err != nil {
+				recon = append(recon, i)
+			}
+		}
+	} else {
+		done := make(chan *ioReq, len(segs)) // buffered: abandoned completions never block a worker
+		pending := make(map[int]*ioReq, len(segs))
+		sent := 0
+		for i := range segs {
+			s := &segs[i]
+			if fs.avoidServer(s.server) {
+				recon = append(recon, i)
+				continue
+			}
+			if err := fs.inject(s.server, false, s.off, int64(len(s.p))); err != nil {
+				recon = append(recon, i)
+				continue
+			}
+			priv := *s
+			priv.p = make([]byte, len(s.p))
+			req := &ioReq{seg: priv, idx: i, done: done}
+			fs.queues[s.server] <- req
+			pending[i] = req
+			sent++
+		}
+		fs.qmu.RUnlock()
+		var timeout <-chan time.Time
+		if d := fs.readDeadline(segs); d > 0 {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timeout = t.C
+		}
+	wait:
+		for received := 0; received < sent; received++ {
+			select {
+			case r := <-done:
+				delete(pending, r.idx)
+				if r.err != nil {
+					recon = append(recon, r.idx)
+				} else {
+					copy(segs[r.idx].p, r.seg.p)
+				}
+			case <-timeout:
+				// Deadline: whatever is still outstanding is treated as
+				// a straggler and reconstructed. The abandoned requests
+				// complete into their private buffers eventually (the
+				// buffered done channel absorbs the notifications).
+				break wait
+			}
+		}
+		for idx := range pending {
+			recon = append(recon, idx)
+		}
+	}
+	var total int64
+	for i := range segs {
+		total += int64(len(segs[i].p))
+	}
+	if len(recon) == 0 {
+		return total, nil
+	}
+	sort.Ints(recon)
+	if failIdx, err := fs.reconstructSegs(segs, recon); err != nil {
+		// Keep the dispatch contract: bytes of the segments preceding
+		// the earliest segment that could not be served.
+		var n int64
+		for i := 0; i < failIdx; i++ {
+			n += int64(len(segs[i].p))
+		}
+		return n, err
+	}
+	return total, nil
+}
+
+// serviceReconBatch issues a round of reconstruction source fetches,
+// coalescing per-server contiguous fetches into single requests first:
+// a multi-row degraded read pulls consecutive shard rows from the same
+// source server, and one large request pays one overhead + seek where
+// the per-shard fetches would pay them per row. Results and errors are
+// distributed back to the original segments (a merged failure fails
+// every member, which then moves on to its next candidate).
+func (fs *FS) serviceReconBatch(batch []ioSeg) []error {
+	idx := make([]int, len(batch))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		sa, sb := &batch[idx[a]], &batch[idx[b]]
+		if sa.server != sb.server {
+			return sa.server < sb.server
+		}
+		return sa.off < sb.off
+	})
+	var merged []ioSeg
+	var members [][]int // batch indices served by each merged request
+	for _, i := range idx {
+		s := &batch[i]
+		if n := len(merged); n > 0 {
+			last := &merged[n-1]
+			if last.server == s.server && last.off+int64(len(last.p)) == s.off {
+				last.p = append(last.p, s.p...) // scratch; grown then filled by the read
+				members[n-1] = append(members[n-1], i)
+				continue
+			}
+		}
+		merged = append(merged, ioSeg{server: s.server, off: s.off, p: append([]byte(nil), s.p...)})
+		members = append(members, []int{i})
+	}
+	mErrs := fs.serviceReads(merged)
+	errs := make([]error, len(batch))
+	for mi := range merged {
+		for _, bi := range members[mi] {
+			if mErrs[mi] != nil {
+				errs[bi] = mErrs[mi]
+				continue
+			}
+			at := batch[bi].off - merged[mi].off
+			copy(batch[bi].p, merged[mi].p[at:at+int64(len(batch[bi].p))])
+		}
+	}
+	return errs
+}
+
+// serviceReads runs read segments through the per-server queues (or
+// synchronously after Close) and returns a per-segment error slice —
+// unlike dispatch, one failure does not stop the others. Used for
+// reconstruction source reads.
+func (fs *FS) serviceReads(segs []ioSeg) []error {
+	errs := make([]error, len(segs))
+	fs.qmu.RLock()
+	if fs.qclosed || fs.queues == nil {
+		fs.qmu.RUnlock()
+		for i := range segs {
+			s := &segs[i]
+			if err := fs.inject(s.server, false, s.off, int64(len(s.p))); err != nil {
+				errs[i] = err
+				continue
+			}
+			sv := fs.servers[s.server]
+			d, err := sv.readAt(s.p, s.off, false)
+			if sv.cost.RealTime && d > 0 {
+				time.Sleep(d)
+			}
+			errs[i] = err
+		}
+		return errs
+	}
+	done := make(chan *ioReq, len(segs))
+	sent := 0
+	for i := range segs {
+		s := &segs[i]
+		if err := fs.inject(s.server, false, s.off, int64(len(s.p))); err != nil {
+			errs[i] = err
+			continue
+		}
+		fs.queues[s.server] <- &ioReq{seg: *s, idx: i, done: done}
+		sent++
+	}
+	fs.qmu.RUnlock()
+	for ; sent > 0; sent-- {
+		r := <-done
+		errs[r.idx] = r.err
+	}
+	return errs
+}
+
+// sourceOrder ranks servers for reconstruction sources: healthy-fast
+// first (ascending slow factor), then shallow queue backlog, then
+// index — the "fastest k of k+m" selection.
+func (fs *FS) sourceOrder() []int {
+	n := fs.opts.Servers
+	backlog := make([]int, n)
+	fs.qmu.RLock()
+	if !fs.qclosed && fs.queues != nil {
+		for i, ch := range fs.queues {
+			backlog[i] = len(ch)
+		}
+	}
+	fs.qmu.RUnlock()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		sa, sb := fs.servers[order[a]].slow, fs.servers[order[b]].slow
+		if sa != sb {
+			return sa < sb
+		}
+		return backlog[order[a]] < backlog[order[b]]
+	})
+	return order
+}
+
+// reconJob tracks one segment being reconstructed: which shards have
+// been fetched, and which candidates remain.
+type reconJob struct {
+	segIdx int
+	row    int64 // parity row (server-local offset / stripe)
+	within int64 // byte offset of the segment inside its stripe unit
+	n      int
+	shards [][]byte // k+m entries; non-nil = fetched
+	got    int
+	cands  []int // remaining source servers, fastest first
+	next   int
+	lastE  error
+}
+
+// reconstructSegs rebuilds the listed segments from the surviving
+// shards. Source reads batch across jobs per round, so several
+// reconstructions pay max- not sum-per-server service time. On failure
+// it returns the smallest segment index it could not serve.
+func (fs *FS) reconstructSegs(segs []ioSeg, recon []int) (int, error) {
+	k, m := fs.code.K(), fs.code.M()
+	stripe := fs.opts.StripeSize
+	order := fs.sourceOrder()
+	jobs := make([]*reconJob, 0, len(recon))
+	for _, idx := range recon {
+		s := &segs[idx]
+		j := &reconJob{
+			segIdx: idx,
+			row:    s.off / stripe,
+			within: s.off % stripe,
+			n:      len(s.p),
+			shards: make([][]byte, k+m),
+		}
+		for _, c := range order {
+			if c != s.server {
+				j.cands = append(j.cands, c)
+			}
+		}
+		jobs = append(jobs, j)
+	}
+	// Seed shards the vector already holds: a row-mate of the target
+	// segment that was served healthily covers the same byte range of
+	// its own stripe unit, so it is a reconstruction source for free —
+	// a whole-row degraded read then only fetches the parity shards.
+	inRecon := make(map[int]bool, len(recon))
+	for _, idx := range recon {
+		inRecon[idx] = true
+	}
+	for _, j := range jobs {
+		for i := range segs {
+			if j.got >= k {
+				break
+			}
+			s := &segs[i]
+			if inRecon[i] || s.server == segs[j.segIdx].server ||
+				s.off/stripe != j.row || s.off%stripe != j.within ||
+				len(s.p) != j.n || j.shards[s.server] != nil {
+				continue
+			}
+			j.shards[s.server] = s.p
+			j.got++
+		}
+	}
+	for {
+		var batch []ioSeg
+		var owners []*reconJob
+		var shardOf []int
+		for _, j := range jobs {
+			for need := k - j.got; need > 0 && j.next < len(j.cands); {
+				c := j.cands[j.next]
+				j.next++
+				if j.shards[c] != nil {
+					continue // already seeded from the vector
+				}
+				buf := make([]byte, j.n)
+				batch = append(batch, ioSeg{server: c, off: j.row*stripe + j.within, p: buf})
+				owners = append(owners, j)
+				shardOf = append(shardOf, c)
+				need--
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		errs := fs.serviceReconBatch(batch)
+		for i := range batch {
+			j := owners[i]
+			if errs[i] != nil {
+				j.lastE = errs[i]
+				continue
+			}
+			j.shards[shardOf[i]] = batch[i].p
+			j.got++
+		}
+		doneAll := true
+		for _, j := range jobs {
+			if j.got < k && j.next < len(j.cands) {
+				doneAll = false
+			}
+		}
+		if doneAll {
+			break
+		}
+	}
+	for _, j := range jobs {
+		s := &segs[j.segIdx]
+		if j.got < k {
+			err := j.lastE
+			if err == nil {
+				err = fmt.Errorf("only %d of %d shards reachable", j.got, k)
+			}
+			return j.segIdx, fmt.Errorf("pfs: degraded read: cannot reconstruct server %d row %d: %w",
+				s.server, j.row, err)
+		}
+		if err := fs.code.ReconstructData(j.shards); err != nil {
+			return j.segIdx, fmt.Errorf("pfs: degraded read: %w", err)
+		}
+		copy(s.p, j.shards[s.server])
+		fs.degraded.Add(1)
+		fs.reconBytes.Add(int64(j.n))
+	}
+	return len(segs), nil
+}

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"drxmp/internal/ec"
 	"drxmp/internal/extent"
 )
 
@@ -123,6 +124,32 @@ type Options struct {
 	// how long any request can be bypassed (no starvation). Ignored
 	// under FIFO.
 	WindowSize int
+	// Parity reserves the last Parity servers of the stripe for
+	// Reed-Solomon parity: data stripes round-robin over the first
+	// k = Servers-Parity servers, and each parity row (the k data units
+	// sharing one round) stores Parity coded units on the reserved
+	// servers. Any k of the k+Parity units reconstruct the rest, so a
+	// read that hits a dead server (failure injection) or a straggler
+	// (past the degraded-read deadline, or proactively avoided via
+	// AvoidSlowFactor) is served by reconstruction from the fastest k
+	// instead of failing or waiting. 0 (the default) disables parity
+	// entirely and is byte- and accounting-identical to the pre-parity
+	// layout.
+	Parity int
+	// DegradedReadFactor arms the straggler deadline of degraded reads
+	// when the cost model is RealTime: a read vector that has not fully
+	// completed after factor × (the nominal max per-server service time
+	// of the vector, at SlowFactor 1) reconstructs its outstanding
+	// segments from the other servers instead of waiting. 0 defaults to
+	// 3; negative disables the deadline (degraded reads still trigger
+	// on injected errors). Ignored when Parity is 0.
+	DegradedReadFactor float64
+	// AvoidSlowFactor proactively routes reads around stragglers: a
+	// read segment bound for a server whose SlowFactor is >= this value
+	// is never dispatched there and is reconstructed from the fastest k
+	// instead (the hdpsr-style "slow disk" flag). 0 disables proactive
+	// avoidance. Ignored when Parity is 0.
+	AvoidSlowFactor float64
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +195,12 @@ type ServerStats struct {
 // elapsed time: the maximum Busy over servers.
 type Stats struct {
 	PerServer []ServerStats
+	// DegradedReads counts read segments whose bytes were served by
+	// parity reconstruction (injected failure, straggler deadline, or
+	// proactive avoidance) instead of by their home server, and
+	// ReconstructBytes the bytes so served.
+	DegradedReads    int64
+	ReconstructBytes int64
 }
 
 // Requests returns total read+write requests across servers.
@@ -293,7 +326,11 @@ func (s Stats) SvcTimes() Hist {
 
 // Sub returns s - t field-wise (for phase measurement).
 func (s Stats) Sub(t Stats) Stats {
-	out := Stats{PerServer: make([]ServerStats, len(s.PerServer))}
+	out := Stats{
+		PerServer:        make([]ServerStats, len(s.PerServer)),
+		DegradedReads:    s.DegradedReads - t.DegradedReads,
+		ReconstructBytes: s.ReconstructBytes - t.ReconstructBytes,
+	}
 	for i := range s.PerServer {
 		a, b := s.PerServer[i], ServerStats{}
 		if i < len(t.PerServer) {
@@ -465,6 +502,14 @@ type FS struct {
 	servers []*server
 	inj     atomic.Pointer[injBox] // failure injection (fault.go)
 
+	// Erasure coding (parity.go). code is nil when Options.Parity is 0;
+	// parityMu serializes parity-row read-modify-write so concurrent
+	// writers converge on the parity of the final data state.
+	code       *ec.Code
+	parityMu   sync.Mutex
+	degraded   atomic.Int64 // read segments served by reconstruction
+	reconBytes atomic.Int64 // bytes served by reconstruction
+
 	queues  []chan *ioReq  // one FIFO request queue per server
 	qwg     sync.WaitGroup // running queue workers
 	qmu     sync.RWMutex   // guards qclosed vs. in-flight enqueues
@@ -485,6 +530,9 @@ type FS struct {
 func Create(name string, opts Options) (*FS, error) {
 	opts = opts.withDefaults()
 	fs := &FS{opts: opts, servers: make([]*server, opts.Servers)}
+	if err := fs.initParity(); err != nil {
+		return nil, err
+	}
 	for i := range fs.servers {
 		sv := newServer(i, opts)
 		if opts.Backend == Disk {
@@ -510,6 +558,10 @@ func Open(name string, opts Options) (*FS, error) {
 		return nil, errors.New("pfs: Open requires the Disk backend")
 	}
 	fs := &FS{opts: opts, servers: make([]*server, opts.Servers)}
+	if err := fs.initParity(); err != nil {
+		return nil, err
+	}
+	k := fs.dataServers()
 	var logical int64
 	for i := range fs.servers {
 		path := filepath.Join(opts.Dir, fmt.Sprintf("%s.s%d", name, i))
@@ -526,11 +578,13 @@ func Open(name string, opts Options) (*FS, error) {
 		sv.f, sv.size = f, st.Size()
 		fs.servers[i] = sv
 		// Reconstruct a lower bound of the logical size from the stripe
-		// layout: server i holding b bytes implies logical size >= the
-		// end of its last full-or-partial stripe unit.
-		if st.Size() > 0 {
+		// layout: data server i holding b bytes implies logical size >=
+		// the end of its last full-or-partial stripe unit. Parity
+		// servers hold coded units, not logical bytes, so they do not
+		// contribute.
+		if i < k && st.Size() > 0 {
 			units := (st.Size() + opts.StripeSize - 1) / opts.StripeSize
-			last := (units-1)*int64(opts.Servers)*opts.StripeSize + int64(i)*opts.StripeSize
+			last := (units-1)*int64(k)*opts.StripeSize + int64(i)*opts.StripeSize
 			end := last + (st.Size() - (units-1)*opts.StripeSize)
 			if end > logical {
 				logical = end
@@ -555,8 +609,15 @@ func Remove(name string, opts Options) error {
 	return first
 }
 
-// Servers returns the server count.
+// Servers returns the server count (data + parity).
 func (fs *FS) Servers() int { return fs.opts.Servers }
+
+// DataServers returns the number of servers holding data stripes
+// (Servers - Parity).
+func (fs *FS) DataServers() int { return fs.dataServers() }
+
+// Parity returns the number of parity servers.
+func (fs *FS) Parity() int { return fs.opts.Parity }
 
 // StripeSize returns the stripe unit in bytes.
 func (fs *FS) StripeSize() int64 { return fs.opts.StripeSize }
@@ -582,12 +643,16 @@ func (fs *FS) Truncate(n int64) error {
 	return nil
 }
 
-// locate maps a logical offset to (server, server-local offset).
+// locate maps a logical offset to (server, server-local offset). Data
+// stripes round-robin over the first dataServers() servers; with
+// Parity 0 that is every server and the layout is unchanged from the
+// pre-parity code.
 func (fs *FS) locate(off int64) (int, int64) {
+	k := int64(fs.dataServers())
 	unit := off / fs.opts.StripeSize
 	within := off % fs.opts.StripeSize
-	s := int(unit % int64(fs.opts.Servers))
-	round := unit / int64(fs.opts.Servers)
+	s := int(unit % k)
+	round := unit / k
 	return s, round*fs.opts.StripeSize + within
 }
 
@@ -629,6 +694,9 @@ func (fs *FS) WriteAt(p []byte, off int64) (int, error) {
 		return 0, errors.New("pfs: negative offset")
 	}
 	if _, err := fs.dispatch(fs.segments(p, off, true)); err != nil {
+		return 0, err
+	}
+	if err := fs.updateParity([]Run{{Off: off, Len: int64(len(p))}}); err != nil {
 		return 0, err
 	}
 	fs.mu.Lock()
@@ -757,13 +825,32 @@ func (fs *FS) writeV(runs []Run, buf []byte, flush bool) (int64, error) {
 			}
 		}
 		fs.mu.Unlock()
+		// Recompute parity for every row the accepted runs touched
+		// (no-op with Parity 0). FlushV sweeps come through here too,
+		// so write-behind flushes maintain parity like direct writes.
+		var accepted []Run
+		covered = 0
+		for _, r := range runs {
+			if covered+r.Len > at {
+				break
+			}
+			covered += r.Len
+			accepted = append(accepted, r)
+		}
+		if err := fs.updateParity(accepted); err != nil {
+			return at, err
+		}
 	}
 	return at, verr
 }
 
 // Stats returns a snapshot of the accounting.
 func (fs *FS) Stats() Stats {
-	out := Stats{PerServer: make([]ServerStats, len(fs.servers))}
+	out := Stats{
+		PerServer:        make([]ServerStats, len(fs.servers)),
+		DegradedReads:    fs.degraded.Load(),
+		ReconstructBytes: fs.reconBytes.Load(),
+	}
 	for i, sv := range fs.servers {
 		sv.mu.Lock()
 		out.PerServer[i] = sv.stats
@@ -774,6 +861,8 @@ func (fs *FS) Stats() Stats {
 
 // ResetStats zeroes all accounting (including seek state).
 func (fs *FS) ResetStats() {
+	fs.degraded.Store(0)
+	fs.reconBytes.Store(0)
 	for _, sv := range fs.servers {
 		sv.mu.Lock()
 		sv.stats = ServerStats{}

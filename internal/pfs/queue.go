@@ -241,6 +241,14 @@ func (fs *FS) dispatch(segs []ioSeg) (int64, error) {
 	if len(segs) == 0 {
 		return 0, nil
 	}
+	// With parity configured, reads take the degraded-capable path: a
+	// segment that fails (injection or service error), exceeds the
+	// straggler deadline, or targets an avoided slow server is
+	// reconstructed from the other servers instead of failing the call.
+	// A dispatch only ever carries one direction, so segs[0] decides.
+	if fs.code != nil && !segs[0].write {
+		return fs.dispatchDegraded(segs)
+	}
 	fs.qmu.RLock()
 	if fs.qclosed || fs.queues == nil {
 		fs.qmu.RUnlock()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -9,11 +10,12 @@ import (
 
 // pendingFetch is one section fetch waiting in the batching window.
 type pendingFetch struct {
-	box    grid.Box
-	done   chan struct{}
-	buf    []byte // dense over box, RowMajor
-	err    error
-	merged bool // served as part of a multi-request cluster read
+	box     grid.Box
+	done    chan struct{}
+	buf     []byte // dense over box, RowMajor
+	err     error
+	merged  bool // served as part of a multi-request cluster read
+	settled bool // done has been closed (leader-only bookkeeping)
 }
 
 // coalescer merges overlapping section reads that arrive within one
@@ -81,6 +83,25 @@ func (co *coalescer) read(box grid.Box) (buf []byte, merged bool, err error) {
 // serve clusters the frozen batch by box overlap and issues one
 // backing read per cluster, slicing the result back to each member.
 func (co *coalescer) serve(batch []*pendingFetch) {
+	// The leader settles every member no matter how the fetch exits: a
+	// panic mid-batch that left members waiting on never-closed done
+	// channels would strand their requests (each holding admission
+	// budget) forever. Settle the stragglers with an error, then let
+	// the panic propagate.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		for _, p := range batch {
+			if !p.settled {
+				p.settled = true
+				p.err = fmt.Errorf("serve: coalesced fetch aborted: %v", r)
+				close(p.done)
+			}
+		}
+		panic(r)
+	}()
 	type cluster struct {
 		bound   grid.Box
 		members []*pendingFetch
@@ -131,6 +152,7 @@ func (co *coalescer) serve(batch []*pendingFetch) {
 				m.buf = sliceSection(buf, cl.bound, m.box, co.es, grid.RowMajor)
 				m.merged = true
 			}
+			m.settled = true
 			close(m.done)
 		}
 	}

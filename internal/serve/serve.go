@@ -267,6 +267,12 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	es := int64(a.f.DType().Size())
 	n := box.Volume() * es
 
+	// acquire is paired with an immediate deferred release so EVERY
+	// exit — error return, panic in the fill (net/http recovers after
+	// handler defers run), slow client — gives the budget back. The
+	// single-flight table and coalescer carry the same obligation for
+	// the requests they park (see singleflight.go / coalesce.go); a
+	// stranded waiter would hold its admission slot forever.
 	waited := a.adm.acquire(n)
 	defer a.adm.release(n)
 

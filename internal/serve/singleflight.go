@@ -1,6 +1,9 @@
 package serve
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // flight is one in-progress cold fill. Waiters block on done; the
 // leader publishes buf/err before closing it. The buffer is shared
@@ -46,11 +49,24 @@ func (t *flightTable) do(key string, fetch func() ([]byte, error)) (buf []byte, 
 	t.fills++
 	t.mu.Unlock()
 
+	// The leader must settle its flight no matter how fetch exits: a
+	// panicking fetch that left the entry in the table would strand
+	// every later request for this key on a done channel that never
+	// closes — each one parked while holding admission budget, wedging
+	// the file. The deferred cleanup publishes an error to the waiters
+	// and removes the entry before the panic propagates.
+	completed := false
+	defer func() {
+		if !completed {
+			fl.buf, fl.err = nil, fmt.Errorf("serve: fill for %q aborted", key)
+		}
+		t.mu.Lock()
+		delete(t.inflight, key)
+		t.mu.Unlock()
+		close(fl.done)
+	}()
 	fl.buf, fl.err = fetch()
-	t.mu.Lock()
-	delete(t.inflight, key)
-	t.mu.Unlock()
-	close(fl.done)
+	completed = true
 	return fl.buf, false, fl.err
 }
 
