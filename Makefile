@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
 GO ?= go
 
-.PHONY: all build vet fmt test race race-collective race-serve race-fault bench bench-collective ci
+.PHONY: all build vet fmt test race race-collective race-serve race-fault race-client bench bench-collective ci
 
 all: build
 
@@ -46,6 +46,16 @@ race-serve:
 race-fault:
 	$(GO) test -race -run 'Erasure|Degraded|Fault' . ./internal/ec ./internal/pfs ./internal/mpiio ./internal/serve
 
+# Resilient-client suites under the race detector: hedged reads race
+# two attempts against each other by design, the breaker and latency
+# tracker are shared across calls, and the chaos e2e suites
+# (chaos_e2e_test.go) kill and restart the serving tier under a
+# concurrent retrying workload while checking for leaked goroutines and
+# admission budget. Admission-cancellation regressions ride along.
+race-client:
+	$(GO) test -race -count=1 ./internal/drxclient
+	$(GO) test -race -run 'Chaos|AdmissionCancel|RequestTimeout|ShedOverload' . ./internal/serve
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -56,12 +66,13 @@ bench:
 # elevator, fixed vs adaptive cb_nodes, the E19 write-behind policy
 # rows, the E20 read-cache no-cache/cold/warm rows, the ServeBench
 # serving-tier rows: requests/s, coalesce ratio, single-flight hit
-# rate, and the E21 degraded-read rows: read p99 + reconstruction
-# counters for healthy/wait-straggler/degraded regimes) that tracks
-# the perf trajectory across PRs.
+# rate, the E21 degraded-read rows: read p99 + reconstruction
+# counters for healthy/wait-straggler/degraded regimes, and the E22
+# resilient-client rows: read p99 + hedge win rate for plain/retry/
+# hedged clients) that tracks the perf trajectory across PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json
 	@cat BENCH_collective.json
 
-ci: build vet fmt test race race-collective race-serve race-fault bench bench-collective
+ci: build vet fmt test race race-collective race-serve race-fault race-client bench bench-collective

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	drxbench -exp all            # everything (figures + E1..E21)
+//	drxbench -exp all            # everything (figures + E1..E22)
 //	drxbench -exp fig1           # one experiment
 //	drxbench -exp e4 -scale full # full-size run
 //	drxbench -exp e7 -csv        # CSV output
@@ -14,14 +14,16 @@
 //	                             # (scheduler/cb_nodes + e19 write-behind
 //	                             #  + e20 read-cache rows)
 //
-// Experiments: fig1 fig2 fig3 e1..e21 (e11-e15 are design ablations,
+// Experiments: fig1 fig2 fig3 e1..e22 (e11-e15 are design ablations,
 // e16 is the parallel-vs-serial section I/O study, e17 the parallel
 // two-phase collective study, e18 the elevator-scheduler / adaptive
 // cb_nodes ablation, e19 the write-behind collective-buffering
 // ablation, e20 the unified-file-cache read ablation: cold/warm
 // re-reads, data sieving on strided reads, and read-ahead scans, e21
 // the erasure-coded degraded-read ablation: straggler avoidance and
-// dead-server reconstruction vs wait-on-straggler reads).
+// dead-server reconstruction vs wait-on-straggler reads, e22 the
+// resilient-client ablation: plain vs retrying vs hedged clients
+// against a straggling, flaky serving tier).
 //
 // Flags: -exp, -scale, -csv, -list, -par (e16 worker sweep bound),
 // -cpar (e17 worker sweep bound), -cache (e20 cache budget in bytes;
@@ -68,10 +70,11 @@ var experiments = []struct {
 	{"e19", "write-behind collective buffering ablation (immediate / watermark / close-only)", exp.E19WriteBehind},
 	{"e20", "unified file cache read ablation (cold/warm re-read, data sieving, read-ahead)", exp.E20ReadCache},
 	{"e21", "erasure-coded degraded reads (healthy / wait-straggler / degraded-straggler / degraded-dead)", exp.E21DegradedReads},
+	{"e22", "resilient client vs straggling/flaky serving tier (plain / retry / hedged)", exp.E22RetryHedge},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e21)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e22)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")

@@ -15,6 +15,7 @@
 //	drxserve -addr :8080 -cache 67108864 -window 1ms /data/climate
 //	curl 'localhost:8080/v1/arrays/climate/section?lo=0,0&hi=16,16' -o part.bin
 //	curl 'localhost:8080/v1/stats'
+//	curl 'localhost:8080/readyz'     # 503 while draining after SIGTERM
 package main
 
 import (
@@ -42,6 +43,9 @@ func main() {
 	window := flag.Duration("window", 500*time.Microsecond, "coalescing batch window (0 disables)")
 	maxReqs := flag.Int("max-inflight", 64, "admission: max in-flight requests per array (0 = unbounded)")
 	maxBytes := flag.Int64("max-inflight-bytes", 256<<20, "admission: max in-flight payload bytes per array (0 = unbounded)")
+	maxQueued := flag.Int("max-queued", 256, "admission: max queued requests per array before shedding with 503 (0 = unbounded)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (0 disables)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 5*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 	cache := flag.Int64("cache", 64<<20, "unified extent cache budget per array in bytes (0 disables)")
 	readAhead := flag.Int64("readahead", 0, "sieve read-ahead in bytes")
 	par := flag.Int("par", 0, "per-array independent I/O parallelism (0 = GOMAXPROCS)")
@@ -58,6 +62,8 @@ func main() {
 		CoalesceWindow:      *window,
 		MaxInFlightRequests: *maxReqs,
 		MaxInFlightBytes:    *maxBytes,
+		MaxQueuedRequests:   *maxQueued,
+		RequestTimeout:      *reqTimeout,
 	}
 
 	// The server is one rank: a front end over the shared store, not a
@@ -118,7 +124,11 @@ func main() {
 			return err
 		case <-sig:
 			fmt.Println("drxserve: shutting down")
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			// Flip readiness first so load balancers and drxclient.Ready
+			// stop steering new work here, then drain in-flight requests
+			// within the shutdown budget.
+			srv.SetDraining(true)
+			ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
 			defer cancel()
 			err := httpSrv.Shutdown(ctx)
 			// With the handlers drained, make every buffered write

@@ -1,0 +1,103 @@
+package drxclient
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one endpoint's circuit breaker. Closed counts consecutive
+// failures; at the threshold it opens and rejects calls outright for
+// OpenFor; the first call after that window becomes a half-open probe
+// (exactly one in flight — concurrent calls keep being rejected until
+// the probe settles). A successful probe closes the circuit, a failed
+// one re-opens it for another OpenFor.
+type breaker struct {
+	pol BreakerPolicy
+
+	mu        sync.Mutex
+	state     breakerState
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+func newBreaker(pol BreakerPolicy) *breaker {
+	return &breaker{pol: pol}
+}
+
+// allow gates one attempt. probe reports that this attempt is the
+// half-open probe; its outcome decides the circuit. A non-nil error
+// means the attempt is rejected without touching the network.
+func (b *breaker) allow(now time.Time) (probe bool, err error) {
+	if b.pol.Disabled {
+		return false, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return false, nil
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false, ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true, nil
+	default: // half-open
+		if b.probing {
+			return false, ErrCircuitOpen
+		}
+		b.probing = true
+		return true, nil
+	}
+}
+
+// outcome records an attempt's result. opens is bumped on every
+// transition into the open state (the client's BreakerOpens counter).
+func (b *breaker) outcome(ok, probe bool, now time.Time, opens *atomic.Int64) {
+	if b.pol.Disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if b.state != breakerHalfOpen {
+			return // circuit moved on while the probe was in flight
+		}
+		if ok {
+			b.state = breakerClosed
+			b.fails = 0
+		} else {
+			b.state = breakerOpen
+			b.openUntil = now.Add(b.pol.OpenFor)
+			opens.Add(1)
+		}
+		return
+	}
+	if b.state != breakerClosed {
+		return
+	}
+	if ok {
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.fails >= b.pol.FailureThreshold {
+		b.state = breakerOpen
+		b.openUntil = now.Add(b.pol.OpenFor)
+		b.fails = 0
+		opens.Add(1)
+	}
+}

@@ -1,0 +1,119 @@
+package drxclient
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The breaker is driven entirely by synthetic timestamps, so the state
+// machine is tested without a single sleep.
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	var opens atomic.Int64
+	b := newBreaker(BreakerPolicy{FailureThreshold: 3, OpenFor: time.Second})
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		probe, err := b.allow(t0)
+		if probe || err != nil {
+			t.Fatalf("closed allow %d: probe=%v err=%v", i, probe, err)
+		}
+		b.outcome(false, probe, t0, &opens)
+	}
+	if opens.Load() != 1 {
+		t.Fatalf("opens = %d after threshold failures, want 1", opens.Load())
+	}
+	if _, err := b.allow(t0.Add(500 * time.Millisecond)); err != ErrCircuitOpen {
+		t.Fatalf("open-window allow err = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestBreakerSuccessResetsFailureRun(t *testing.T) {
+	var opens atomic.Int64
+	b := newBreaker(BreakerPolicy{FailureThreshold: 3, OpenFor: time.Second})
+	t0 := time.Unix(1000, 0)
+	// Two failures, a success, two more failures: never opens —
+	// the threshold counts CONSECUTIVE failures.
+	for _, ok := range []bool{false, false, true, false, false} {
+		probe, err := b.allow(t0)
+		if err != nil {
+			t.Fatalf("allow: %v", err)
+		}
+		b.outcome(ok, probe, t0, &opens)
+	}
+	if opens.Load() != 0 {
+		t.Fatalf("opens = %d, want 0 (success reset the run)", opens.Load())
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	var opens atomic.Int64
+	b := newBreaker(BreakerPolicy{FailureThreshold: 1, OpenFor: time.Second})
+	t0 := time.Unix(1000, 0)
+	probe, _ := b.allow(t0)
+	b.outcome(false, probe, t0, &opens) // opens the circuit
+
+	// Past the open window: the first caller becomes the probe...
+	t1 := t0.Add(1100 * time.Millisecond)
+	probe, err := b.allow(t1)
+	if !probe || err != nil {
+		t.Fatalf("post-window allow: probe=%v err=%v, want probe", probe, err)
+	}
+	// ...and concurrent callers are rejected while it is in flight.
+	if _, err := b.allow(t1); err != ErrCircuitOpen {
+		t.Fatalf("concurrent-with-probe allow err = %v, want ErrCircuitOpen", err)
+	}
+	// Probe fails: re-open for a fresh window.
+	b.outcome(false, true, t1, &opens)
+	if opens.Load() != 2 {
+		t.Fatalf("opens = %d after failed probe, want 2", opens.Load())
+	}
+	if _, err := b.allow(t1.Add(500 * time.Millisecond)); err != ErrCircuitOpen {
+		t.Fatalf("re-opened allow err = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	var opens atomic.Int64
+	b := newBreaker(BreakerPolicy{FailureThreshold: 2, OpenFor: time.Second})
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		probe, _ := b.allow(t0)
+		b.outcome(false, probe, t0, &opens)
+	}
+	t1 := t0.Add(2 * time.Second)
+	probe, err := b.allow(t1)
+	if !probe || err != nil {
+		t.Fatalf("probe allow: probe=%v err=%v", probe, err)
+	}
+	b.outcome(true, true, t1, &opens)
+	// Closed again: normal traffic flows, and the failure run restarts
+	// from zero (one failure does not re-open with threshold 2).
+	probe, err = b.allow(t1)
+	if probe || err != nil {
+		t.Fatalf("closed-after-probe allow: probe=%v err=%v", probe, err)
+	}
+	b.outcome(false, probe, t1, &opens)
+	if _, err := b.allow(t1); err != nil {
+		t.Fatalf("allow after single failure: %v (failure run not reset?)", err)
+	}
+	if opens.Load() != 1 {
+		t.Fatalf("opens = %d, want 1", opens.Load())
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	var opens atomic.Int64
+	b := newBreaker(BreakerPolicy{Disabled: true, FailureThreshold: 1, OpenFor: time.Second})
+	t0 := time.Unix(1000, 0)
+	for i := 0; i < 10; i++ {
+		probe, err := b.allow(t0)
+		if probe || err != nil {
+			t.Fatalf("disabled breaker interfered: probe=%v err=%v", probe, err)
+		}
+		b.outcome(false, probe, t0, &opens)
+	}
+	if opens.Load() != 0 {
+		t.Fatalf("disabled breaker opened %d times", opens.Load())
+	}
+}

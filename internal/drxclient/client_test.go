@@ -1,0 +1,405 @@
+package drxclient
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps test retry sleeps in the low milliseconds.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+}
+
+func sectionServer(t *testing.T, h http.HandlerFunc) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestClientRetries503ThenSucceeds(t *testing.T) {
+	var hits atomic.Int64
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("payload"))
+	})
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	body, err := c.ReadSection(context.Background(), "a", []int{0}, []int{1})
+	if err != nil {
+		t.Fatalf("ReadSection: %v", err)
+	}
+	if string(body) != "payload" {
+		t.Fatalf("body = %q", body)
+	}
+	st := c.Stats()
+	if st.Retries != 2 || st.Attempts != 3 || st.Errors != 0 {
+		t.Fatalf("stats = %+v, want 2 retries / 3 attempts / 0 errors", st)
+	}
+}
+
+func TestClientRetriesConnectionDrop(t *testing.T) {
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	drop := &FaultRule{Mode: FaultDrop, Count: 1}
+	c := New(srv.URL, Options{
+		Transport: &FaultTransport{Rules: []*FaultRule{drop}},
+		Retry:     fastRetry(3),
+	})
+	if _, err := c.ReadSection(context.Background(), "a", []int{0}, []int{1}); err != nil {
+		t.Fatalf("ReadSection through one drop: %v", err)
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestClientRetriesTruncatedBody(t *testing.T) {
+	payload := make([]byte, 256)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write(payload)
+	})
+	trunc := &FaultRule{Mode: FaultTruncate, TruncateTo: 17, Count: 1}
+	c := New(srv.URL, Options{
+		Transport: &FaultTransport{Rules: []*FaultRule{trunc}},
+		Retry:     fastRetry(3),
+	})
+	body, err := c.ReadSection(context.Background(), "a", []int{0}, []int{256})
+	if err != nil {
+		t.Fatalf("ReadSection through truncation: %v", err)
+	}
+	if len(body) != len(payload) {
+		t.Fatalf("got %d bytes, want %d — truncated read must not be returned", len(body), len(payload))
+	}
+	for i := range payload {
+		if body[i] != payload[i] {
+			t.Fatalf("byte %d = %d, want %d", i, body[i], payload[i])
+		}
+	}
+	if st := c.Stats(); st.Retries != 1 {
+		t.Fatalf("retries = %d, want 1", st.Retries)
+	}
+}
+
+func TestClientRetriesPUTAfterReset(t *testing.T) {
+	// The lost-ack case: the server applies the PUT, the client never
+	// hears back and retries. Because a section PUT is a full-box
+	// overwrite, the replay is harmless — the final state matches the
+	// payload and the client reports success.
+	var applied atomic.Int64
+	var last atomic.Value
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			b := make([]byte, r.ContentLength)
+			r.Body.Read(b)
+			applied.Add(1)
+			last.Store(string(b))
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+	reset := &FaultRule{Method: http.MethodPut, Mode: FaultReset, Count: 1}
+	c := New(srv.URL, Options{
+		Transport: &FaultTransport{Rules: []*FaultRule{reset}},
+		Retry:     fastRetry(3),
+	})
+	if err := c.WriteSection(context.Background(), "a", []int{0}, []int{4}, []byte("data")); err != nil {
+		t.Fatalf("WriteSection through reset: %v", err)
+	}
+	if applied.Load() != 2 {
+		t.Fatalf("server applied %d writes, want 2 (original + replay)", applied.Load())
+	}
+	if last.Load() != "data" {
+		t.Fatalf("final server state %q, want %q", last.Load(), "data")
+	}
+}
+
+func TestClientDeadlinePropagation(t *testing.T) {
+	release := make(chan struct{})
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	})
+	defer close(release)
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.ReadSection(ctx, "a", []int{0}, []int{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("call took %v against a 30ms deadline", d)
+	}
+	st := c.Stats()
+	if st.DeadlineExceeded != 1 || st.Errors != 1 {
+		t.Fatalf("stats = %+v, want 1 deadline exceeded / 1 error", st)
+	}
+	// No retry budget is burned once the caller's deadline is gone.
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (deadline expiry is not retryable)", st.Attempts)
+	}
+}
+
+func TestClientAttemptTimeoutRetries(t *testing.T) {
+	var hits atomic.Int64
+	release := make(chan struct{})
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+			case <-release:
+			}
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	defer close(release)
+	c := New(srv.URL, Options{
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond,
+			MaxDelay: 5 * time.Millisecond, AttemptTimeout: 25 * time.Millisecond},
+	})
+	body, err := c.ReadSection(context.Background(), "a", []int{0}, []int{1})
+	if err != nil || string(body) != "ok" {
+		t.Fatalf("ReadSection = %q, %v; want retry past the slow attempt", body, err)
+	}
+	if st := c.Stats(); st.Retries != 1 || st.DeadlineExceeded != 0 {
+		t.Fatalf("stats = %+v, want 1 retry and no deadline-exceeded", st)
+	}
+}
+
+func TestClient4xxNotRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such array", http.StatusNotFound)
+	})
+	c := New(srv.URL, Options{Retry: fastRetry(4)})
+	_, err := c.ReadSection(context.Background(), "nope", []int{0}, []int{1})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusNotFound {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d attempts for a 404, want 1", hits.Load())
+	}
+}
+
+func TestClientBreakerOpensThenRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	c := New(srv.URL, Options{
+		Retry:   RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		Breaker: BreakerPolicy{FailureThreshold: 3, OpenFor: 40 * time.Millisecond},
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := c.ReadSection(ctx, "a", []int{0}, []int{1}); err == nil {
+			t.Fatal("expected failure while unhealthy")
+		}
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d after threshold, want 1", st.BreakerOpens)
+	}
+	// While open, calls fail fast without touching the server.
+	before := hits.Load()
+	_, err := c.ReadSection(ctx, "a", []int{0}, []int{1})
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != before {
+		t.Fatalf("open breaker let a request through (%d -> %d)", before, hits.Load())
+	}
+	if st := c.Stats(); st.BreakerRejects == 0 {
+		t.Fatalf("stats = %+v, want breaker rejects > 0", st)
+	}
+	// Server recovers; after the open window the half-open probe
+	// succeeds and the circuit closes for good.
+	healthy.Store(true)
+	time.Sleep(50 * time.Millisecond)
+	if _, err := c.ReadSection(ctx, "a", []int{0}, []int{1}); err != nil {
+		t.Fatalf("probe call after recovery: %v", err)
+	}
+	if _, err := c.ReadSection(ctx, "a", []int{0}, []int{1}); err != nil {
+		t.Fatalf("post-probe call: %v", err)
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("breaker re-opened after recovery: %+v", st)
+	}
+}
+
+func TestClientBreakerPerEndpoint(t *testing.T) {
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	})
+	c := New(srv.URL, Options{
+		Retry:   RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+		Breaker: BreakerPolicy{FailureThreshold: 2, OpenFor: time.Minute},
+	})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		c.WriteSection(ctx, "a", []int{0}, []int{1}, []byte{1})
+	}
+	if st := c.Stats(); st.BreakerOpens != 1 {
+		t.Fatalf("write breaker opens = %d, want 1", st.BreakerOpens)
+	}
+	// The read endpoint's breaker is independent: reads still flow.
+	if _, err := c.ReadSection(ctx, "a", []int{0}, []int{1}); err != nil {
+		t.Fatalf("read with write-breaker open: %v", err)
+	}
+}
+
+func TestClientHedgeWinsOverStraggler(t *testing.T) {
+	// First request hangs until released; the hedge lands on a fast
+	// handler and wins.
+	var hits atomic.Int64
+	release := make(chan struct{})
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			select {
+			case <-r.Context().Done():
+			case <-release:
+			}
+			return
+		}
+		w.Write([]byte("fast"))
+	})
+	defer close(release)
+	c := New(srv.URL, Options{
+		Retry: fastRetry(2),
+		Hedge: HedgePolicy{Enabled: true, WarmupDelay: 10 * time.Millisecond},
+	})
+	start := time.Now()
+	body, err := c.ReadSection(context.Background(), "a", []int{0}, []int{1})
+	if err != nil || string(body) != "fast" {
+		t.Fatalf("hedged read = %q, %v", body, err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("hedged read took %v — hedge did not rescue the straggler", d)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.HedgeWins != 1 {
+		t.Fatalf("stats = %+v, want 1 hedge / 1 hedge win", st)
+	}
+}
+
+func TestClientNoHedgeOnFastResponse(t *testing.T) {
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	})
+	c := New(srv.URL, Options{
+		Retry: fastRetry(2),
+		Hedge: HedgePolicy{Enabled: true, WarmupDelay: 200 * time.Millisecond},
+	})
+	for i := 0; i < 5; i++ {
+		if _, err := c.ReadSection(context.Background(), "a", []int{0}, []int{1}); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Fatalf("hedges = %d on a fast server, want 0", st.Hedges)
+	}
+}
+
+func TestClientWritesNeverHedge(t *testing.T) {
+	var concurrent, maxConcurrent atomic.Int64
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		n := concurrent.Add(1)
+		for {
+			m := maxConcurrent.Load()
+			if n <= m || maxConcurrent.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(30 * time.Millisecond)
+		concurrent.Add(-1)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	c := New(srv.URL, Options{
+		Retry: fastRetry(2),
+		Hedge: HedgePolicy{Enabled: true, WarmupDelay: time.Millisecond},
+	})
+	if err := c.WriteSection(context.Background(), "a", []int{0}, []int{1}, []byte{1}); err != nil {
+		t.Fatalf("WriteSection: %v", err)
+	}
+	if st := c.Stats(); st.Hedges != 0 {
+		t.Fatalf("a PUT hedged (%d) despite hedging being read-only", st.Hedges)
+	}
+	if maxConcurrent.Load() != 1 {
+		t.Fatalf("max concurrent PUTs = %d, want 1", maxConcurrent.Load())
+	}
+}
+
+func TestLatencyTrackerPercentile(t *testing.T) {
+	lt := newLatencyTracker(256)
+	if _, ok := lt.percentile(0.9, 16); ok {
+		t.Fatal("percentile reported ok with zero samples")
+	}
+	for i := 1; i <= 100; i++ {
+		lt.record(time.Duration(i) * time.Millisecond)
+	}
+	p90, ok := lt.percentile(0.9, 16)
+	if !ok {
+		t.Fatal("percentile not ok with 100 samples")
+	}
+	if p90 < 85*time.Millisecond || p90 > 95*time.Millisecond {
+		t.Fatalf("p90 = %v, want ~90ms", p90)
+	}
+	// Ring wraps: after 300 more fast samples the old slow tail is gone.
+	for i := 0; i < 300; i++ {
+		lt.record(time.Millisecond)
+	}
+	p90, _ = lt.percentile(0.9, 16)
+	if p90 != time.Millisecond {
+		t.Fatalf("post-wrap p90 = %v, want 1ms", p90)
+	}
+}
+
+func TestClientDefaultTimeoutApplied(t *testing.T) {
+	release := make(chan struct{})
+	srv := sectionServer(t, func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	})
+	defer close(release)
+	c := New(srv.URL, Options{
+		Timeout: 40 * time.Millisecond,
+		Retry:   RetryPolicy{MaxAttempts: 1, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond},
+	})
+	start := time.Now()
+	_, err := c.ReadSection(context.Background(), "a", []int{0}, []int{1})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline from Options.Timeout", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("default timeout took %v to fire", d)
+	}
+}

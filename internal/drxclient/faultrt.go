@@ -1,0 +1,237 @@
+// faultrt.go provides deterministic failure injection at the HTTP
+// transport boundary — the client-side sibling of pfs's per-server
+// Injector, so the resilient request path can be tested the way a
+// remote consumer experiences a bad network: connections that refuse,
+// responses that never finish, gateways that 503, bytes that stop
+// halfway.
+//
+// Injection sits in a RoundTripper wrapping the real transport, so the
+// distinction that matters for idempotency testing is preserved: a
+// DROP fails before the server sees the request, a RESET fails after
+// the server has fully processed it (the response is discarded) — the
+// retried PUT after a reset really does re-apply a write the server
+// already performed.
+package drxclient
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FaultMode selects what a matching FaultRule does to the request.
+type FaultMode int
+
+const (
+	// FaultDrop fails the request before it reaches the server
+	// (connection refused / dropped SYN).
+	FaultDrop FaultMode = iota
+	// FaultDelay stalls the request for Delay, then forwards it — a
+	// straggling server or congested link.
+	FaultDelay
+	// FaultStatus short-circuits with an HTTP Status response (5xx,
+	// 429, ...) without reaching the server.
+	FaultStatus
+	// FaultTruncate forwards the request but severs the response body
+	// after TruncateTo bytes (io.ErrUnexpectedEOF mid-read), keeping
+	// the original Content-Length.
+	FaultTruncate
+	// FaultReset forwards the request, lets the server fully process
+	// it, then fails with a connection-reset error instead of
+	// delivering the response — the lost-ack case retries must handle.
+	FaultReset
+)
+
+// errConnDropped / errConnReset are the injected transport failures.
+var (
+	errConnDropped = errors.New("faultrt: injected connection drop")
+	errConnReset   = errors.New("faultrt: injected connection reset")
+)
+
+// FaultRule fires its Mode on matching requests according to a
+// schedule: skip the first After matches, then fire on every Every-th
+// match (Every <= 1 fires on all), at most Count times (0 =
+// unlimited). The zero schedule fires on every matching request.
+type FaultRule struct {
+	// Method restricts matching ("" = any).
+	Method string
+	// Path substring-matches against the request path ("" = any).
+	Path string
+	Mode FaultMode
+	// After skips this many matching requests before the schedule
+	// starts.
+	After int64
+	// Every fires on every Every-th matching request past After
+	// (<= 1: every one).
+	Every int64
+	// Count caps total fires (0 = unlimited).
+	Count int64
+
+	// Delay is FaultDelay's stall.
+	Delay time.Duration
+	// Status is FaultStatus's response code.
+	Status int
+	// RetryAfter, if > 0, adds a Retry-After header (whole seconds) to
+	// FaultStatus responses.
+	RetryAfter time.Duration
+	// TruncateTo is how many body bytes FaultTruncate lets through.
+	TruncateTo int64
+
+	seen  atomic.Int64
+	fired atomic.Int64
+}
+
+// matches reports whether the request matches the rule's selectors.
+func (r *FaultRule) matches(req *http.Request) bool {
+	if r.Method != "" && req.Method != r.Method {
+		return false
+	}
+	if r.Path != "" && !strings.Contains(req.URL.Path, r.Path) {
+		return false
+	}
+	return true
+}
+
+// shouldFire advances the schedule for one matching request.
+func (r *FaultRule) shouldFire() bool {
+	seen := r.seen.Add(1)
+	if seen <= r.After {
+		return false
+	}
+	if r.Every > 1 && (seen-r.After-1)%r.Every != 0 {
+		return false
+	}
+	for {
+		fired := r.fired.Load()
+		if r.Count > 0 && fired >= r.Count {
+			return false
+		}
+		if r.fired.CompareAndSwap(fired, fired+1) {
+			return true
+		}
+	}
+}
+
+// Fired reports how many times the rule has fired.
+func (r *FaultRule) Fired() int64 { return r.fired.Load() }
+
+// FaultTransport wraps Base (http.DefaultTransport if nil) and applies
+// the first firing non-delay rule per request; firing delay rules all
+// stall first, so a delay can compose with a later drop/status rule.
+//
+// Every matching rule's schedule advances on every matching request,
+// up front — before any delay or effect — regardless of which rule's
+// effect is applied or whether the request is canceled mid-stall. Rule
+// phases therefore never drift relative to each other: schedules are a
+// pure function of the matching-request count.
+type FaultTransport struct {
+	Base  http.RoundTripper
+	Rules []*FaultRule
+}
+
+// RoundTrip implements http.RoundTripper.
+func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := ft.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	// Advance every matching schedule first, then apply: delays stall
+	// (composing with a later drop/status), the first firing non-delay
+	// rule decides the outcome.
+	var delays []*FaultRule
+	var fire *FaultRule
+	for _, r := range ft.Rules {
+		if !r.matches(req) || !r.shouldFire() {
+			continue
+		}
+		if r.Mode == FaultDelay {
+			delays = append(delays, r)
+		} else if fire == nil {
+			fire = r
+		}
+	}
+	for _, r := range delays {
+		t := time.NewTimer(r.Delay)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	if fire == nil {
+		return base.RoundTrip(req)
+	}
+	switch fire.Mode {
+	case FaultDrop:
+		return nil, errConnDropped
+	case FaultStatus:
+		body := fmt.Sprintf(`{"error":"faultrt: injected status %d"}`, fire.Status)
+		h := http.Header{"Content-Type": []string{"application/json"}}
+		if fire.RetryAfter > 0 {
+			h.Set("Retry-After", fmt.Sprint(int(fire.RetryAfter/time.Second)))
+		}
+		return &http.Response{
+			StatusCode:    fire.Status,
+			Status:        fmt.Sprintf("%d %s", fire.Status, http.StatusText(fire.Status)),
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        h,
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	case FaultTruncate:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, left: fire.TruncateTo}
+		return resp, nil
+	case FaultReset:
+		resp, err := base.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		// The server did its work; the client never hears back.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, errConnReset
+	default:
+		return nil, fmt.Errorf("faultrt: unknown mode %d", fire.Mode)
+	}
+}
+
+// truncatedBody delivers the first left bytes, then fails the read the
+// way a severed connection does.
+type truncatedBody struct {
+	rc   io.ReadCloser
+	left int64
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > t.left {
+		p = p[:t.left]
+	}
+	n, err := t.rc.Read(p)
+	t.left -= int64(n)
+	if err == io.EOF {
+		// The upstream body really ended inside the budget: deliver EOF
+		// honestly (the rule asked to truncate more than there was).
+		return n, err
+	}
+	if t.left <= 0 && err == nil {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }

@@ -1,0 +1,207 @@
+package drxclient
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFaultRTSchedule(t *testing.T) {
+	// After=2, Every=3, Count=2: matching requests 3 and 6 fire, nothing
+	// after that.
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	rule := &FaultRule{Mode: FaultStatus, Status: 503, After: 2, Every: 3, Count: 2}
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{rule}}}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		resp, err := hc.Get(srv.URL)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 503 {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 3 || fired[1] != 6 {
+		t.Fatalf("fired on requests %v, want [3 6]", fired)
+	}
+	if rule.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", rule.Fired())
+	}
+	if served.Load() != 10 {
+		t.Fatalf("server saw %d requests, want 10 (12 minus 2 injected)", served.Load())
+	}
+}
+
+func TestFaultRTMatchers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	rule := &FaultRule{Method: http.MethodPut, Path: "/section", Mode: FaultStatus, Status: 503}
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{rule}}}
+
+	get := func(method, path string) int {
+		req, _ := http.NewRequest(method, srv.URL+path, strings.NewReader("x"))
+		resp, err := hc.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(http.MethodGet, "/v1/arrays/a/section"); code != 200 {
+		t.Fatalf("GET matched a PUT-only rule: %d", code)
+	}
+	if code := get(http.MethodPut, "/v1/arrays/a"); code != 200 {
+		t.Fatalf("non-section PUT matched: %d", code)
+	}
+	if code := get(http.MethodPut, "/v1/arrays/a/section"); code != 503 {
+		t.Fatalf("matching PUT not fired: %d", code)
+	}
+}
+
+func TestFaultRTDropNeverReachesServer(t *testing.T) {
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+	}))
+	defer srv.Close()
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{{Mode: FaultDrop}}}}
+	_, err := hc.Get(srv.URL)
+	if !errors.Is(err, errConnDropped) {
+		t.Fatalf("err = %v, want injected connection drop", err)
+	}
+	if served.Load() != 0 {
+		t.Fatalf("server saw %d requests through a DROP, want 0", served.Load())
+	}
+}
+
+func TestFaultRTResetAfterServerEffect(t *testing.T) {
+	// The defining property of RESET vs DROP: the server processes the
+	// request before the client sees the failure.
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte("applied"))
+	}))
+	defer srv.Close()
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{{Mode: FaultReset}}}}
+	_, err := hc.Get(srv.URL)
+	if !errors.Is(err, errConnReset) {
+		t.Fatalf("err = %v, want injected connection reset", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (reset fires after processing)", served.Load())
+	}
+}
+
+func TestFaultRTTruncate(t *testing.T) {
+	payload := strings.Repeat("x", 100)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "100")
+		w.Write([]byte(payload))
+	}))
+	defer srv.Close()
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{{Mode: FaultTruncate, TruncateTo: 10}}}}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.ContentLength != 100 {
+		t.Fatalf("ContentLength = %d, want the original 100", resp.ContentLength)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want io.ErrUnexpectedEOF", rerr)
+	}
+	if len(body) != 10 || string(body) != payload[:10] {
+		t.Fatalf("got %d bytes %q, want first 10", len(body), body)
+	}
+}
+
+func TestFaultRTTruncateHonestEOF(t *testing.T) {
+	// Truncating past the real body length delivers a clean EOF — the
+	// response genuinely ended inside the budget.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("short"))
+	}))
+	defer srv.Close()
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{{Mode: FaultTruncate, TruncateTo: 1000}}}}
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr != nil || string(body) != "short" {
+		t.Fatalf("got %q err %v, want clean full read", body, rerr)
+	}
+}
+
+func TestFaultRTDelayComposesAndRespectsContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+	ft := &FaultTransport{Rules: []*FaultRule{
+		{Mode: FaultDelay, Delay: 20 * time.Millisecond},
+		{Mode: FaultStatus, Status: 503},
+	}}
+	hc := &http.Client{Transport: ft}
+	start := time.Now()
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("delayed request: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d, want 503 (delay composes with status rule)", resp.StatusCode)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 20ms delay", d)
+	}
+
+	// A context deadline shorter than the delay aborts the stall.
+	hc2 := &http.Client{
+		Transport: &FaultTransport{Rules: []*FaultRule{{Mode: FaultDelay, Delay: 10 * time.Second}}},
+		Timeout:   30 * time.Millisecond,
+	}
+	start = time.Now()
+	if _, err := hc2.Get(srv.URL); err == nil {
+		t.Fatal("expected timeout error through a 10s injected delay")
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancellation took %v, delay not context-aware", d)
+	}
+}
+
+func TestFaultRTStatusRetryAfter(t *testing.T) {
+	hc := &http.Client{Transport: &FaultTransport{Rules: []*FaultRule{
+		{Mode: FaultStatus, Status: 429, RetryAfter: 3 * time.Second},
+	}}}
+	resp, err := hc.Get("http://unreachable.invalid/x")
+	if err != nil {
+		t.Fatalf("synthesized response should not error: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 429 || resp.Header.Get("Retry-After") != "3" {
+		t.Fatalf("got %d Retry-After=%q, want 429 / 3", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}

@@ -1,0 +1,125 @@
+package drxclient
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyTracker keeps a ring of recently observed successful read
+// latencies per client, so the hedge delay tracks what THIS client
+// actually sees (network, server load, payload sizes) instead of a
+// static guess — the client-side mirror of how pfs derives its
+// degraded-read deadline from the nominal service time.
+type latencyTracker struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	next    int
+	filled  bool
+}
+
+func newLatencyTracker(capacity int) *latencyTracker {
+	return &latencyTracker{samples: make([]time.Duration, capacity)}
+}
+
+func (l *latencyTracker) record(d time.Duration) {
+	l.mu.Lock()
+	l.samples[l.next] = d
+	l.next++
+	if l.next == len(l.samples) {
+		l.next = 0
+		l.filled = true
+	}
+	l.mu.Unlock()
+}
+
+// percentile returns the q-quantile of the recorded samples, or
+// ok=false while fewer than minSamples have been seen.
+func (l *latencyTracker) percentile(q float64, minSamples int) (time.Duration, bool) {
+	l.mu.Lock()
+	n := l.next
+	if l.filled {
+		n = len(l.samples)
+	}
+	if n < minSamples {
+		l.mu.Unlock()
+		return 0, false
+	}
+	s := make([]time.Duration, n)
+	copy(s, l.samples[:n])
+	l.mu.Unlock()
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return s[idx], true
+}
+
+// hedgeDelay is how long a read waits before firing its hedge: the
+// configured latency quantile of observed reads, floored at MinDelay,
+// with a fixed warmup value until the tracker has enough samples.
+func (c *Client) hedgeDelay() time.Duration {
+	d, ok := c.lat.percentile(c.opt.Hedge.Quantile, 16)
+	if !ok {
+		d = c.opt.Hedge.WarmupDelay
+	}
+	if d < c.opt.Hedge.MinDelay {
+		d = c.opt.Hedge.MinDelay
+	}
+	return d
+}
+
+// attemptHedged races up to two physical attempts of one idempotent
+// GET: the first immediately, the second once the hedge delay passes
+// with no answer. The first success wins and cancels the other; if the
+// first attempt FAILS before the delay elapses, no hedge is fired —
+// failures are the retry loop's job (with backoff), hedging only
+// covers the silent-slowness case.
+func (c *Client) attemptHedged(ctx context.Context, method, u string) ([]byte, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // aborts the losing attempt on every exit
+	type result struct {
+		body  []byte
+		err   error
+		which int
+	}
+	results := make(chan result, 2)
+	run := func(which int) {
+		body, err := c.attemptOnce(hctx, method, u, nil)
+		results <- result{body, err, which}
+	}
+	go run(0)
+	launched := 1
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	var firstErr error
+	for done := 0; done < launched; {
+		select {
+		case r := <-results:
+			done++
+			if r.err == nil {
+				if r.which == 1 {
+					c.hedgeWins.Add(1)
+				}
+				return r.body, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+		case <-timer.C:
+			if launched == 1 {
+				launched = 2
+				c.hedges.Add(1)
+				go run(1)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return nil, firstErr
+}

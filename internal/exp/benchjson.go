@@ -29,6 +29,10 @@ type CollectiveBenchResult struct {
 	// and how many segments were served by erasure reconstruction.
 	ReadP99MS     float64 `json:"read_p99_ms,omitempty"`
 	DegradedReads int64   `json:"degraded_reads,omitempty"`
+
+	// Resilient-client rows only (ResilientBench): what fraction of
+	// launched hedges beat the primary attempt.
+	HedgeWinRate float64 `json:"hedge_win_rate,omitempty"`
 }
 
 // CollectiveBench runs one write_all+read_all round of the E18
@@ -122,9 +126,9 @@ func ReadCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
 }
 
 // WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench,
-// ReadCacheBench, ServeBench and DegradedBench and writes the combined
-// rows to path as indented JSON — the BENCH_collective.json artifact
-// CI uploads per PR.
+// ReadCacheBench, ServeBench, DegradedBench and ResilientBench and
+// writes the combined rows to path as indented JSON — the
+// BENCH_collective.json artifact CI uploads per PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
 	rows, err := CollectiveBench(sc)
 	if err != nil {
@@ -150,6 +154,11 @@ func WriteCollectiveBenchJSON(path string, sc Scale) error {
 		return err
 	}
 	rows = append(rows, dgRows...)
+	rsRows, err := ResilientBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, rsRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/cluster"
+	"drxmp/internal/drxclient"
+	"drxmp/internal/pfs"
+	"drxmp/internal/report"
+	"drxmp/internal/serve"
+)
+
+// E22 — the resilient client against a straggling, flaky serving tier.
+// The served array is healthy; the network is not: an injected
+// transport fault delays every e22DelayEvery-th section GET by
+// e22Delay (a straggling server / congested link), and a second
+// schedule on the same modulus (offset phase, so the two never
+// coincide or land adjacent) fails GETs with 503 (an overloaded peer
+// shedding load). Three clients run the identical read workload:
+//
+//   - plain: one attempt, no hedging — the baseline consumer. 503s
+//     surface as errors; every straggler delay lands in the tail.
+//   - retry: bounded backoff retries — errors disappear (the 503 is
+//     retried into a success) but the tail stays: a delayed attempt is
+//     slow, not failed, so the retry loop never fires.
+//   - hedged: retries plus hedged reads — after a delay derived from
+//     the client's own observed latency percentile, a second attempt
+//     races the straggler and wins, capping the tail near the hedge
+//     delay instead of the injected stall.
+//
+// The claim under test: retries fix the error rate, hedging fixes the
+// tail — p99(hedged) beats p99(retry) by at least the acceptance
+// margin, while both finish with zero errors against a schedule that
+// fails the plain client. Every successful read is verified
+// byte-identical to direct access.
+
+const (
+	e22Delay      = 25 * time.Millisecond
+	e22DelayEvery = 13 // straggle every 13th GET: ~8% slow, above p99, below p90
+	e22FlakyAfter = 4  // 503s share the modulus but sit at phase 5 (5, 18, 31, ...):
+	//                    a hedge — always the request right after a delayed one,
+	//                    phase 1 — can never itself land on the 503 schedule, so
+	//                    the measured tail isolates hedging, not schedule collisions
+	e22Warmup = 20 // unmeasured priming reads so the latency tracker is
+	//                past its sample minimum before timing starts
+)
+
+// e22Config is one client regime of the ablation.
+type e22Config struct {
+	name     string
+	attempts int
+	hedge    bool
+}
+
+func e22Configs() []e22Config {
+	return []e22Config{
+		{name: "plain", attempts: 1},
+		{name: "retry", attempts: 4},
+		{name: "hedged", attempts: 4, hedge: true},
+	}
+}
+
+// e22Run serves an n x n array and drives reads sequential band reads
+// through cfg's client over the injected-fault transport. Returns the
+// per-read latencies of successful calls, the error count, and the
+// client's resilience counters. Each run builds a fresh server, fault
+// schedule, and client, so the regimes see identical conditions.
+func e22Run(cfg e22Config, n, reads int) ([]time.Duration, int, drxclient.ClientStats, error) {
+	var lats []time.Duration
+	var errCount int
+	var stats drxclient.ClientStats
+	err := cluster.Run(1, func(c *cluster.Comm) error {
+		f, err := drxmp.Create(c, "e22-"+cfg.name, drxmp.Options{
+			DType: drxmp.Float64, ChunkShape: []int{32, 32}, Bounds: []int{n, n},
+			FS: pfs.Options{Servers: 4, StripeSize: 2 << 10},
+		})
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		full := drxmp.NewBox([]int{0, 0}, []int{n, n})
+		vals := make([]float64, full.Volume())
+		for i := range vals {
+			vals[i] = float64(i)*0.25 - 2
+		}
+		if err := f.WriteSectionFloat64s(full, vals, drxmp.RowMajor); err != nil {
+			return err
+		}
+
+		srv := serve.New(serve.Config{MaxInFlightRequests: 8})
+		if err := srv.Register("arr", f); err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		cl := drxclient.New(ts.URL, drxclient.Options{
+			Transport: &drxclient.FaultTransport{Rules: []*drxclient.FaultRule{
+				{Method: http.MethodGet, Path: "/section", Mode: drxclient.FaultDelay, Delay: e22Delay, Every: e22DelayEvery},
+				{Method: http.MethodGet, Path: "/section", Mode: drxclient.FaultStatus, Status: 503, After: e22FlakyAfter, Every: e22DelayEvery},
+			}},
+			Retry: drxclient.RetryPolicy{MaxAttempts: cfg.attempts,
+				BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+			Hedge: drxclient.HedgePolicy{Enabled: cfg.hedge},
+		})
+		defer cl.CloseIdleConnections()
+
+		band := n / 4
+		es := int64(8)
+		want := make([]byte, int64(band)*int64(n)*es)
+		ctx := context.Background()
+		// Unmeasured warmup: primes the hedger's latency tracker past its
+		// sample minimum (and keeps every regime's fault schedule at the
+		// same phase when timing starts). Errors here are the plain
+		// client's expected losses.
+		for i := 0; i < e22Warmup; i++ {
+			lo := (i * 3) % (n - band)
+			cl.ReadSection(ctx, "arr", []int{lo, 0}, []int{lo + band, n})
+		}
+		for i := 0; i < reads; i++ {
+			lo := (i * 3) % (n - band)
+			start := time.Now()
+			body, err := cl.ReadSection(ctx, "arr", []int{lo, 0}, []int{lo + band, n})
+			if err != nil {
+				errCount++
+				continue
+			}
+			lats = append(lats, time.Since(start))
+			box := drxmp.NewBox([]int{lo, 0}, []int{lo + band, n})
+			if err := f.ReadSection(box, want, drxmp.RowMajor); err != nil {
+				return err
+			}
+			if !bytes.Equal(body, want) {
+				return fmt.Errorf("read %d at lo=%d: served bytes differ from direct", i, lo)
+			}
+		}
+		stats = cl.Stats()
+		return nil
+	})
+	return lats, errCount, stats, err
+}
+
+// E22RetryHedge runs the three client regimes and reports the latency
+// distribution, error count, and resilience counters of each.
+func E22RetryHedge(sc Scale) []*report.Table {
+	n := sc.pick(96, 160)
+	reads := sc.pick(150, 400)
+	t := report.New(fmt.Sprintf(
+		"E22: resilient client vs straggling/flaky serving tier (%d band reads of %dx%d; every %dth GET +%v, 503s on the offset phase of the same schedule)",
+		reads, n, n, e22DelayEvery, e22Delay),
+		"client", "ok", "errors", "read p50", "read p99", "read max",
+		"retries", "hedges", "hedge wins")
+	var retryP99, hedgedP99 time.Duration
+	var plainErrs, retryErrs, hedgedErrs int
+	for _, cfg := range e22Configs() {
+		lats, errs, st, err := e22Run(cfg, n, reads)
+		if err != nil {
+			t.AddNote("%s: %v", cfg.name, err)
+			continue
+		}
+		p99 := e21Pct(lats, 0.99)
+		switch cfg.name {
+		case "plain":
+			plainErrs = errs
+		case "retry":
+			retryP99, retryErrs = p99, errs
+		case "hedged":
+			hedgedP99, hedgedErrs = p99, errs
+		}
+		t.AddRow(cfg.name, len(lats), errs,
+			e21Pct(lats, 0.50).Round(time.Microsecond),
+			p99.Round(time.Microsecond),
+			e21Pct(lats, 1).Round(time.Microsecond),
+			st.Retries, st.Hedges, st.HedgeWins)
+	}
+	if retryP99 > 0 && hedgedP99 > 0 {
+		t.AddNote("shape check: hedged p99 beats retry-only p99 %s (the hedge races the straggler after the observed-latency quantile; retries alone cannot shorten a slow-but-successful attempt); errors plain=%d retry=%d hedged=%d — retries absorb the 503 schedule entirely",
+			report.Ratio(float64(retryP99), float64(hedgedP99)), plainErrs, retryErrs, hedgedErrs)
+	}
+	return []*report.Table{t}
+}
+
+// ResilientBench runs the E22 regimes at artifact scale and returns
+// rows ("e22/plain", "e22/retry", "e22/hedged") with the read p99 and
+// the hedge win rate, so the resilient-client tail tracks across PRs.
+func ResilientBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(96, 160)
+	reads := sc.pick(150, 400)
+	var out []CollectiveBenchResult
+	for _, cfg := range e22Configs() {
+		lats, _, st, err := e22Run(cfg, n, reads)
+		if err != nil {
+			return nil, fmt.Errorf("e22/%s: %w", cfg.name, err)
+		}
+		mean := e21Mean(lats)
+		bandBytes := float64(int64(n/4) * int64(n) * 8)
+		var winRate float64
+		if st.Hedges > 0 {
+			winRate = float64(st.HedgeWins) / float64(st.Hedges)
+		}
+		out = append(out, CollectiveBenchResult{
+			Config:       "e22/" + cfg.name,
+			ReadMS:       float64(mean) / float64(time.Millisecond),
+			ReadP99MS:    float64(e21Pct(lats, 0.99)) / float64(time.Millisecond),
+			MBps:         bandBytes / (1 << 20) * float64(time.Second) / float64(mean),
+			HedgeWinRate: winRate,
+		})
+	}
+	return out, nil
+}

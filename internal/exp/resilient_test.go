@@ -1,0 +1,72 @@
+package exp
+
+import "testing"
+
+// TestResilientBenchQuick pins the E22 bench's shape and the headline
+// claims: three rows, retries erase the 503 error schedule, and the
+// hedged client's p99 beats the retry-only client's by the acceptance
+// margin (the injected straggler delay dwarfs the hedge delay).
+func TestResilientBenchQuick(t *testing.T) {
+	rows, err := ResilientBench(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	byName := map[string]CollectiveBenchResult{}
+	for _, r := range rows {
+		byName[r.Config] = r
+		if r.ReadMS <= 0 || r.ReadP99MS <= 0 || r.MBps <= 0 {
+			t.Fatalf("%s: empty measurements: %+v", r.Config, r)
+		}
+	}
+	for _, name := range []string{"e22/plain", "e22/retry", "e22/hedged"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("missing row %s (have %v)", name, rows)
+		}
+	}
+	retry, hedged := byName["e22/retry"], byName["e22/hedged"]
+	if hedged.HedgeWinRate <= 0 {
+		t.Fatalf("hedged row won no hedges: %+v", hedged)
+	}
+	if retry.HedgeWinRate != 0 {
+		t.Fatalf("retry-only row reports hedges: %+v", retry)
+	}
+	if hedged.ReadP99MS*1.5 > retry.ReadP99MS {
+		t.Fatalf("hedged p99 %.2fms does not beat retry p99 %.2fms by 1.5x",
+			hedged.ReadP99MS, retry.ReadP99MS)
+	}
+}
+
+// TestE22ErrorShape pins the per-regime error behavior directly: the
+// plain client loses calls to the 503 schedule, the retrying clients
+// lose none.
+func TestE22ErrorShape(t *testing.T) {
+	n, reads := 96, 60
+	for _, cfg := range e22Configs() {
+		lats, errs, st, err := e22Run(cfg, n, reads)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.name, err)
+		}
+		if len(lats)+errs != reads {
+			t.Fatalf("%s: %d lats + %d errs != %d reads", cfg.name, len(lats), errs, reads)
+		}
+		switch cfg.name {
+		case "plain":
+			if errs == 0 {
+				t.Fatalf("plain client saw no errors against the 503 schedule (stats %+v)", st)
+			}
+			if st.Retries != 0 {
+				t.Fatalf("plain client retried: %+v", st)
+			}
+		default:
+			if errs != 0 {
+				t.Fatalf("%s client lost %d calls despite retries (stats %+v)", cfg.name, errs, st)
+			}
+			if st.Retries == 0 {
+				t.Fatalf("%s client never retried against the fault schedule: %+v", cfg.name, st)
+			}
+		}
+	}
+}

@@ -1,33 +1,62 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errShed is returned by acquire when the waiting queue is already at
+// its depth bound: admitting one more waiter would only grow an
+// unbounded backlog, so the request is rejected immediately (the
+// handler maps this to 503 + Retry-After, which a retrying client
+// backs off on).
+var errShed = errors.New("serve: admission queue full")
+
+// waiter is one queued acquire: release closes ready once the waiter's
+// budget has been granted. granted disambiguates the race between a
+// grant and the waiter's context expiring — if both happen, the waiter
+// observed its context first and must hand the already-granted budget
+// back.
+type waiter struct {
+	n       int64
+	ready   chan struct{}
+	granted bool
+}
 
 // admission is the per-file admission controller: a bounded in-flight
-// request/byte budget with FIFO-ish queueing (sync.Cond wakeups), so a
-// burst of heavy clients degrades into an orderly queue instead of an
-// unbounded pile of section buffers. Zero limits mean unbounded.
+// request/byte budget with a FIFO waiter queue, so a burst of heavy
+// clients degrades into an orderly queue instead of an unbounded pile
+// of section buffers. Zero limits mean unbounded.
+//
+// Unlike the earlier sync.Cond design, every queued waiter carries a
+// channel, so acquire can select on the caller's context: a client
+// that disconnects or times out while queued removes itself (or hands
+// back a budget granted in the same instant) instead of holding its
+// slot until service. maxQueued bounds the queue depth itself —
+// overload sheds instead of queueing without bound.
 type admission struct {
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
-	maxReqs  int
-	maxBytes int64
+	maxReqs   int
+	maxBytes  int64
+	maxQueued int
 
 	inReqs  int
 	inBytes int64
-	queued  int
+	queue   []*waiter
 
 	// cumulative stats
 	admitted   int64
 	waits      int64 // requests that had to queue before admission
+	canceled   int64 // waiters that left the queue on context cancel/deadline
+	shed       int64 // requests rejected because the queue was full
 	peakReqs   int
 	peakQueued int
 }
 
-func newAdmission(maxReqs int, maxBytes int64) *admission {
-	a := &admission{maxReqs: maxReqs, maxBytes: maxBytes}
-	a.cond = sync.NewCond(&a.mu)
-	return a
+func newAdmission(maxReqs int, maxBytes int64, maxQueued int) *admission {
+	return &admission{maxReqs: maxReqs, maxBytes: maxBytes, maxQueued: maxQueued}
 }
 
 // full reports whether admitting n more bytes would exceed a budget. An
@@ -44,50 +73,105 @@ func (a *admission) full(n int64) bool {
 	return false
 }
 
-// acquire blocks until the request is admitted and reports whether it
-// had to queue.
-func (a *admission) acquire(n int64) (waited bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.full(n) {
-		waited = true
-		a.waits++
-		a.queued++
-		if a.queued > a.peakQueued {
-			a.peakQueued = a.queued
-		}
-		for a.full(n) {
-			a.cond.Wait()
-		}
-		a.queued--
-	}
+// grant admits n bytes (a.mu held).
+func (a *admission) grant(n int64) {
 	a.inReqs++
 	a.inBytes += n
 	a.admitted++
 	if a.inReqs > a.peakReqs {
 		a.peakReqs = a.inReqs
 	}
-	return waited
 }
 
-// release returns the request's budget and wakes queued waiters.
+// acquire blocks until the request is admitted, the queue bound sheds
+// it, or ctx is done. waited reports whether it had to queue. On a
+// non-nil error no budget is held.
+func (a *admission) acquire(ctx context.Context, n int64) (waited bool, err error) {
+	a.mu.Lock()
+	// FIFO: a new arrival never jumps over already-queued waiters, so a
+	// large (or oversized) request at the head cannot be starved by a
+	// stream of small ones.
+	if len(a.queue) == 0 && !a.full(n) {
+		a.grant(n)
+		a.mu.Unlock()
+		return false, nil
+	}
+	if a.maxQueued > 0 && len(a.queue) >= a.maxQueued {
+		a.shed++
+		a.mu.Unlock()
+		return false, errShed
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.waits++
+	if len(a.queue) > a.peakQueued {
+		a.peakQueued = len(a.queue)
+	}
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return true, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// Lost the race: release granted the budget before we saw
+			// ctx expire. Hand it straight back and wake whoever fits.
+			a.inReqs--
+			a.inBytes -= w.n
+			a.canceled++
+			a.wake()
+			a.mu.Unlock()
+			return true, ctx.Err()
+		}
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				break
+			}
+		}
+		a.canceled++
+		// The abandoned waiter may have been the head blocking smaller
+		// requests behind it.
+		a.wake()
+		a.mu.Unlock()
+		return true, ctx.Err()
+	}
+}
+
+// wake grants queued waiters from the head while they fit (a.mu held).
+func (a *admission) wake() {
+	for len(a.queue) > 0 && !a.full(a.queue[0].n) {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		w.granted = true
+		a.grant(w.n)
+		close(w.ready)
+	}
+}
+
+// release returns the request's budget and admits queued waiters that
+// now fit.
 func (a *admission) release(n int64) {
 	a.mu.Lock()
 	a.inReqs--
 	a.inBytes -= n
+	a.wake()
 	a.mu.Unlock()
-	a.cond.Broadcast()
 }
 
 // AdmissionStats is the admission controller's surfaced accounting.
 type AdmissionStats struct {
 	MaxRequests   int   `json:"max_requests"`
 	MaxBytes      int64 `json:"max_bytes"`
+	MaxQueued     int   `json:"max_queued"`
 	InFlight      int   `json:"in_flight"`
 	InFlightBytes int64 `json:"in_flight_bytes"`
 	Queued        int   `json:"queued"`
 	Admitted      int64 `json:"admitted"`
 	Waits         int64 `json:"waits"`
+	Canceled      int64 `json:"canceled"`
+	Shed          int64 `json:"shed"`
 	PeakInFlight  int   `json:"peak_in_flight"`
 	PeakQueued    int   `json:"peak_queued"`
 }
@@ -98,11 +182,14 @@ func (a *admission) snapshot() AdmissionStats {
 	return AdmissionStats{
 		MaxRequests:   a.maxReqs,
 		MaxBytes:      a.maxBytes,
+		MaxQueued:     a.maxQueued,
 		InFlight:      a.inReqs,
 		InFlightBytes: a.inBytes,
-		Queued:        a.queued,
+		Queued:        len(a.queue),
 		Admitted:      a.admitted,
 		Waits:         a.waits,
+		Canceled:      a.canceled,
+		Shed:          a.shed,
 		PeakInFlight:  a.peakReqs,
 		PeakQueued:    a.peakQueued,
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -49,7 +50,13 @@ func newCoalescer(window time.Duration, es int64, fetch func(grid.Box) ([]byte, 
 // read fetches box (dense RowMajor), merging with overlapping
 // concurrent reads when a batching window is configured. merged
 // reports that the result came out of a multi-request cluster read.
-func (co *coalescer) read(box grid.Box) (buf []byte, merged bool, err error) {
+//
+// ctx bounds only a NON-leader member's wait: a member whose deadline
+// expires leaves early with ctx's error (its slice is computed and
+// discarded when the batch settles). The window leader always sleeps
+// out the window and serves the frozen batch — abandoning that duty
+// would strand every member on a never-settled fetch.
+func (co *coalescer) read(ctx context.Context, box grid.Box) (buf []byte, merged bool, err error) {
 	if co.window <= 0 {
 		co.mu.Lock()
 		co.backingReads++
@@ -75,9 +82,15 @@ func (co *coalescer) read(box grid.Box) (buf []byte, merged bool, err error) {
 		co.batches++
 		co.mu.Unlock()
 		co.serve(batch)
+		<-p.done
+		return p.buf, p.merged, p.err
 	}
-	<-p.done
-	return p.buf, p.merged, p.err
+	select {
+	case <-p.done:
+		return p.buf, p.merged, p.err
+	case <-ctx.Done():
+		return nil, false, fmt.Errorf("serve: abandoned coalesced read of %v: %w", box, ctx.Err())
+	}
 }
 
 // serve clusters the frozen batch by box overlap and issues one

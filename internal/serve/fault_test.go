@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net/http"
 	"strings"
@@ -77,7 +78,7 @@ func TestFaultSingleFlightPanicSettlesWaiters(t *testing.T) {
 	leaderDone := make(chan any, 1)
 	go func() {
 		defer func() { leaderDone <- recover() }()
-		tb.do("k", func() ([]byte, error) {
+		tb.do(context.Background(), "k", func() ([]byte, error) {
 			close(armed)
 			<-release
 			panic("fill exploded")
@@ -86,7 +87,7 @@ func TestFaultSingleFlightPanicSettlesWaiters(t *testing.T) {
 	<-armed
 	waiterDone := make(chan error, 1)
 	go func() {
-		_, shared, err := tb.do("k", func() ([]byte, error) {
+		_, shared, err := tb.do(context.Background(), "k", func() ([]byte, error) {
 			t.Error("waiter's fetch ran despite an in-flight fill")
 			return nil, nil
 		})
@@ -110,7 +111,7 @@ func TestFaultSingleFlightPanicSettlesWaiters(t *testing.T) {
 		t.Fatal("waiter stranded after the fill panicked")
 	}
 	// The entry is gone: the next request becomes a fresh leader.
-	buf, shared, err := tb.do("k", func() ([]byte, error) { return []byte("ok"), nil })
+	buf, shared, err := tb.do(context.Background(), "k", func() ([]byte, error) { return []byte("ok"), nil })
 	if err != nil || shared || string(buf) != "ok" {
 		t.Fatalf("table did not recover: buf=%q shared=%v err=%v", buf, shared, err)
 	}
@@ -126,13 +127,13 @@ func TestFaultCoalescerPanicSettlesMembers(t *testing.T) {
 	leaderDone := make(chan any, 1)
 	go func() {
 		defer func() { leaderDone <- recover() }()
-		co.read(box)
+		co.read(context.Background(), box)
 	}()
 	// A member joining the leader's window.
 	memberDone := make(chan error, 1)
 	time.Sleep(5 * time.Millisecond)
 	go func() {
-		_, _, err := co.read(grid.NewBox([]int{1, 1}, []int{3, 3}))
+		_, _, err := co.read(context.Background(), grid.NewBox([]int{1, 1}, []int{3, 3}))
 		memberDone <- err
 	}()
 	if r := <-leaderDone; r == nil {

@@ -1,0 +1,301 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"drxmp"
+	"drxmp/internal/grid"
+)
+
+// TestAdmissionCancelQueuedReleasesSlot (regression for the queued-
+// waiter leak): a waiter abandoned by its client while QUEUED must
+// leave the queue immediately and never hold budget — previously a
+// sync.Cond waiter blocked until service and its slot leaked to the
+// abandoned request. After the holder releases, the budget must be
+// exactly zero.
+func TestAdmissionCancelQueuedReleasesSlot(t *testing.T) {
+	a := newAdmission(1, 0, 0)
+	if _, err := a.acquire(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	queuedErr := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(ctx, 10)
+		queuedErr <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for a.snapshot().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second request never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-queuedErr:
+		if err == nil {
+			t.Fatal("canceled waiter was admitted")
+		}
+	case <-deadline:
+		t.Fatal("canceled waiter still blocked in acquire")
+	}
+	st := a.snapshot()
+	if st.Queued != 0 || st.Canceled != 1 {
+		t.Fatalf("after cancel: %+v, want 0 queued / 1 canceled", st)
+	}
+	a.release(10)
+	st = a.snapshot()
+	if st.InFlight != 0 || st.InFlightBytes != 0 || st.Queued != 0 {
+		t.Fatalf("budget leaked to an abandoned waiter: %+v", st)
+	}
+	// The controller still admits fresh work.
+	if _, err := a.acquire(context.Background(), 10); err != nil {
+		t.Fatal(err)
+	}
+	a.release(10)
+}
+
+// TestAdmissionCancelRace hammers the grant-vs-cancel race: waiters
+// whose context is canceled at the same instant release grants them
+// must hand the budget back, leaving the controller exactly idle.
+func TestAdmissionCancelRace(t *testing.T) {
+	a := newAdmission(2, 0, 0)
+	const K = 64
+	var wg sync.WaitGroup
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%5)*time.Millisecond)
+			defer cancel()
+			if _, err := a.acquire(ctx, 1); err == nil {
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+				a.release(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := a.snapshot()
+	if st.InFlight != 0 || st.InFlightBytes != 0 || st.Queued != 0 {
+		t.Fatalf("controller not idle after racing cancels: %+v", st)
+	}
+}
+
+// TestAdmissionShedsBeyondQueueBound: with maxQueued waiters already
+// parked, the next arrival is rejected immediately instead of growing
+// the backlog.
+func TestAdmissionShedsBeyondQueueBound(t *testing.T) {
+	a := newAdmission(1, 0, 2)
+	if _, err := a.acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			if _, err := a.acquire(context.Background(), 1); err == nil {
+				admitted <- struct{}{}
+			}
+		}()
+	}
+	deadline := time.After(5 * time.Second)
+	for a.snapshot().Queued < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("waiters never queued")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if _, err := a.acquire(context.Background(), 1); err != errShed {
+		t.Fatalf("overload acquire err = %v, want errShed", err)
+	}
+	if st := a.snapshot(); st.Shed != 1 {
+		t.Fatalf("shed counter = %d, want 1", st.Shed)
+	}
+	a.release(1)
+	<-admitted
+	a.release(1)
+	<-admitted
+	a.release(1)
+	if st := a.snapshot(); st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("controller not idle after drain: %+v", st)
+	}
+}
+
+// TestServeShedOverloadHTTP pins the HTTP mapping: queue-bound
+// overflow returns 503 with Retry-After while the earlier requests
+// complete, and the budget drains to zero.
+func TestServeShedOverloadHTTP(t *testing.T) {
+	cfg := Config{MaxInFlightRequests: 1, MaxQueuedRequests: 1, CoalesceWindow: 20 * time.Millisecond}
+	withServer(t, cfg, drxmp.Tuning{}, func(f *drxmp.File, s *Server, url string) {
+		// The coalescing window holds the first request long enough for
+		// the burst to pile onto the admission queue.
+		const K = 8
+		codes := make([]int, K)
+		var wg sync.WaitGroup
+		for i := 0; i < K; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Distinct chunks so no two requests share a fill.
+				resp, _ := get(t, url+"/v1/arrays/unit/section?lo=0,0&hi=32,32")
+				codes[i] = resp.StatusCode
+			}(i)
+		}
+		wg.Wait()
+		var ok, shed int
+		for _, c := range codes {
+			switch c {
+			case http.StatusOK:
+				ok++
+			case http.StatusServiceUnavailable:
+				shed++
+			default:
+				t.Fatalf("unexpected status %d", c)
+			}
+		}
+		if ok == 0 {
+			t.Fatal("no request completed")
+		}
+		adm := s.array("unit").adm.snapshot()
+		if adm.InFlight != 0 || adm.Queued != 0 {
+			t.Fatalf("admission not idle after burst: %+v", adm)
+		}
+		if shed > 0 && adm.Shed == 0 {
+			t.Fatalf("shed responses without shed accounting: %+v", adm)
+		}
+	})
+}
+
+// TestServeRequestTimeoutQueued: a request whose per-request timeout
+// expires while queued gets 503 and releases nothing.
+func TestServeRequestTimeoutQueued(t *testing.T) {
+	cfg := Config{
+		MaxInFlightRequests: 1,
+		RequestTimeout:      30 * time.Millisecond,
+		CoalesceWindow:      150 * time.Millisecond, // first request parks in the window holding the only slot
+	}
+	withServer(t, cfg, drxmp.Tuning{}, func(f *drxmp.File, s *Server, url string) {
+		var wg sync.WaitGroup
+		codes := make([]int, 2)
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// Disjoint chunk-aligned boxes: the second cannot share
+				// the first's fill, so it queues on admission.
+				lo := i * 16
+				resp, _ := get(t, fmt.Sprintf("%s/v1/arrays/unit/section?lo=%d,0&hi=%d,8", url, lo, lo+8))
+				codes[i] = resp.StatusCode
+			}(i)
+			time.Sleep(10 * time.Millisecond)
+		}
+		wg.Wait()
+		var timedOut int
+		for _, c := range codes {
+			if c == http.StatusServiceUnavailable {
+				timedOut++
+			}
+		}
+		if timedOut == 0 {
+			t.Fatalf("no request timed out, codes %v", codes)
+		}
+		adm := s.array("unit").adm.snapshot()
+		if adm.InFlight != 0 || adm.Queued != 0 {
+			t.Fatalf("admission not idle: %+v", adm)
+		}
+	})
+}
+
+// TestServeHealthReady: /healthz is always 200; /readyz flips to 503
+// with Retry-After while draining and back.
+func TestServeHealthReady(t *testing.T) {
+	withServer(t, Config{}, drxmp.Tuning{}, func(f *drxmp.File, s *Server, url string) {
+		if resp, body := get(t, url+"/healthz"); resp.StatusCode != 200 {
+			t.Fatalf("healthz %d: %s", resp.StatusCode, body)
+		}
+		if resp, body := get(t, url+"/readyz"); resp.StatusCode != 200 {
+			t.Fatalf("readyz %d: %s", resp.StatusCode, body)
+		}
+		s.SetDraining(true)
+		resp, _ := get(t, url+"/readyz")
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("draining readyz %d, want 503", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Fatal("draining readyz missing Retry-After")
+		}
+		if !s.Stats().Draining {
+			t.Fatal("stats do not reflect draining")
+		}
+		// Health stays green while draining: the process is alive.
+		if resp, _ := get(t, url+"/healthz"); resp.StatusCode != 200 {
+			t.Fatalf("draining healthz %d, want 200", resp.StatusCode)
+		}
+		s.SetDraining(false)
+		if resp, _ := get(t, url+"/readyz"); resp.StatusCode != 200 {
+			t.Fatalf("undrained readyz %d, want 200", resp.StatusCode)
+		}
+	})
+}
+
+// TestServePanicMiddleware: a panicking fill settles the request with
+// 500 (instead of a dropped connection) and is counted.
+func TestServePanicMiddleware(t *testing.T) {
+	withServer(t, Config{}, drxmp.Tuning{}, func(f *drxmp.File, s *Server, url string) {
+		a := s.array("unit")
+		orig := a.co.fetch
+		a.co.fetch = func(b grid.Box) ([]byte, error) { panic("fill exploded") }
+		resp, body := get(t, url+"/v1/arrays/unit/section?lo=0,0&hi=8,8")
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("panicked request status %d: %s", resp.StatusCode, body)
+		}
+		if s.Stats().Panics != 1 {
+			t.Fatalf("panics = %d, want 1", s.Stats().Panics)
+		}
+		adm := a.adm.snapshot()
+		if adm.InFlight != 0 || adm.Queued != 0 {
+			t.Fatalf("admission leaked through a panic: %+v", adm)
+		}
+		// The server keeps serving.
+		a.co.fetch = orig
+		if resp, _ := get(t, url+"/v1/arrays/unit/section?lo=0,0&hi=8,8"); resp.StatusCode != 200 {
+			t.Fatalf("post-panic read status %d", resp.StatusCode)
+		}
+	})
+}
+
+// TestSingleFlightWaiterDeadline: a waiter whose ctx expires unparks
+// with the ctx error while the fill completes for everyone else.
+func TestSingleFlightWaiterDeadline(t *testing.T) {
+	tb := newFlightTable()
+	armed := make(chan struct{})
+	release := make(chan struct{})
+	leaderOut := make(chan error, 1)
+	go func() {
+		_, _, err := tb.do(context.Background(), "k", func() ([]byte, error) {
+			close(armed)
+			<-release
+			return []byte("late"), nil
+		})
+		leaderOut <- err
+	}()
+	<-armed
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, shared, err := tb.do(ctx, "k", func() ([]byte, error) { return nil, nil })
+	if !shared || err == nil || !strings.Contains(err.Error(), "abandoned") {
+		t.Fatalf("deadline waiter: shared=%v err=%v, want abandoned error", shared, err)
+	}
+	close(release)
+	if err := <-leaderOut; err != nil {
+		t.Fatalf("leader err = %v after waiter abandoned", err)
+	}
+}

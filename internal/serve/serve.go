@@ -33,6 +33,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -58,6 +59,14 @@ type Config struct {
 	// MaxInFlightBytes bounds admitted payload bytes per array
 	// (0 = unbounded).
 	MaxInFlightBytes int64
+	// MaxQueuedRequests bounds the admission waiting queue per array:
+	// past it, requests are shed immediately with 503 + Retry-After
+	// instead of queueing without bound (0 = unbounded queue).
+	MaxQueuedRequests int
+	// RequestTimeout caps each request's handling time, admission
+	// queueing included. A request that exceeds it gets 503 +
+	// Retry-After and releases whatever it held (0 = no cap).
+	RequestTimeout time.Duration
 }
 
 // array is one registered file plus its serving machinery.
@@ -81,6 +90,12 @@ type Server struct {
 	mu      sync.RWMutex
 	arrays  map[string]*array
 	tenants *tenantTable
+
+	// draining flips /readyz to 503 so load balancers and hedging
+	// clients fail over before in-flight requests finish draining.
+	draining atomic.Bool
+	// panics counts handler panics settled by the recovery middleware.
+	panics atomic.Int64
 }
 
 // New builds a server with no arrays registered.
@@ -103,7 +118,7 @@ func (s *Server) Register(name string, f *drxmp.File) error {
 	a := &array{
 		name: name,
 		f:    f,
-		adm:  newAdmission(s.cfg.MaxInFlightRequests, s.cfg.MaxInFlightBytes),
+		adm:  newAdmission(s.cfg.MaxInFlightRequests, s.cfg.MaxInFlightBytes, s.cfg.MaxQueuedRequests),
 		fl:   newFlightTable(),
 	}
 	a.co = newCoalescer(s.cfg.CoalesceWindow, int64(f.DType().Size()),
@@ -135,7 +150,12 @@ func (s *Server) array(name string) *array {
 	return s.arrays[name]
 }
 
-// Handler returns the HTTP handler serving the API.
+// Handler returns the HTTP handler serving the API, wrapped in the
+// resilience middleware: panic recovery (a handler panic settles the
+// request with 500 instead of killing the connection silently —
+// composing with the single-flight/coalescer panic settling, which
+// releases parked waiters before the panic reaches the middleware) and
+// the per-request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/arrays", s.handleList)
@@ -144,7 +164,82 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/arrays/{name}/section", s.handleWrite)
 	mux.HandleFunc("GET /v1/arrays/{name}/stats", s.handleArrayStats)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	return s.middleware(mux)
+}
+
+// SetDraining flips the readiness state: while draining, /readyz
+// returns 503 so clients and balancers route new work elsewhere (the
+// drxserve shutdown path sets it before the HTTP server drains).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the current readiness state.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter tracks whether a handler already committed a status, so
+// the panic middleware only writes 500 for requests that never settled.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// middleware wraps the mux with panic recovery and the per-request
+// timeout. Admission, single-flight waits and coalescer member waits
+// all select on the request context, so an expired deadline (or a
+// disconnected client) releases every slot the request held.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				if !sw.wrote {
+					httpError(sw, http.StatusInternalServerError, "internal error: %v", rec)
+				}
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.mu.RLock()
+	n := len(s.arrays)
+	s.mu.RUnlock()
+	writeJSON(w, map[string]any{"status": "ready", "arrays": n})
+}
+
+// unavailable settles a request the resilience path refused: shed by
+// the queue bound, timed out while queued, or abandoned by its client.
+// Retry-After tells well-behaved clients to back off before retrying.
+func unavailable(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "1")
+	httpError(w, http.StatusServiceUnavailable, "%v", err)
 }
 
 func tenantOf(r *http.Request) string {
@@ -268,12 +363,20 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	n := box.Volume() * es
 
 	// acquire is paired with an immediate deferred release so EVERY
-	// exit — error return, panic in the fill (net/http recovers after
-	// handler defers run), slow client — gives the budget back. The
+	// exit — error return, panic in the fill (settled by the recovery
+	// middleware), slow client — gives the budget back. The
 	// single-flight table and coalescer carry the same obligation for
 	// the requests they park (see singleflight.go / coalesce.go); a
-	// stranded waiter would hold its admission slot forever.
-	waited := a.adm.acquire(n)
+	// stranded waiter would hold its admission slot forever. A waiter
+	// whose client disconnects or whose deadline expires while QUEUED
+	// leaves the queue with its slot never held (ctx-aware acquire).
+	ctx := r.Context()
+	waited, err := a.adm.acquire(ctx, n)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Reads++; t.Errors++ })
+		unavailable(w, err)
+		return
+	}
 	defer a.adm.release(n)
 
 	// The fill granularity is the chunk-aligned cover of the request:
@@ -282,13 +385,20 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	ab := alignBox(box, a.f.ChunkShape(), a.f.Bounds())
 	key := strconv.FormatInt(a.gen.Load(), 10) + "|" + ab.String()
 	var coalesced bool
-	buf, shared, err := a.fl.do(key, func() ([]byte, error) {
-		b, merged, err := a.co.read(ab)
+	buf, shared, err := a.fl.do(ctx, key, func() ([]byte, error) {
+		b, merged, err := a.co.read(ctx, ab)
 		coalesced = merged
 		return b, err
 	})
 	if err != nil {
 		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Reads++; t.Errors++ })
+		if ctx.Err() != nil {
+			// The request's own deadline expired (or its client left)
+			// while parked on a shared fill; the fill itself keeps
+			// running for the remaining waiters.
+			unavailable(w, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "read %v: %v", box, err)
 		return
 	}
@@ -358,7 +468,12 @@ func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	waited := a.adm.acquire(n)
+	waited, err := a.adm.acquire(r.Context(), n)
+	if err != nil {
+		s.tenants.update(tenant, func(t *TenantStats) { t.Requests++; t.Writes++; t.Errors++ })
+		unavailable(w, err)
+		return
+	}
 	defer a.adm.release(n)
 
 	if err := a.f.WriteSection(box, body, order); err != nil {

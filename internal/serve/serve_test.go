@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -102,14 +103,14 @@ func TestServeSliceSection(t *testing.T) {
 // --- admission ---
 
 func TestAdmissionRequestBudget(t *testing.T) {
-	a := newAdmission(2, 0)
+	a := newAdmission(2, 0, 0)
 	var cur, peak atomic.Int32
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			a.acquire(1)
+			a.acquire(context.Background(), 1)
 			c := cur.Add(1)
 			for {
 				p := peak.Load()
@@ -139,11 +140,11 @@ func TestAdmissionRequestBudget(t *testing.T) {
 }
 
 func TestAdmissionByteBudget(t *testing.T) {
-	a := newAdmission(0, 100)
-	a.acquire(60)
+	a := newAdmission(0, 100, 0)
+	a.acquire(context.Background(), 60)
 	admitted := make(chan struct{})
 	go func() {
-		a.acquire(60) // 120 > 100: must queue until the first releases
+		a.acquire(context.Background(), 60) // 120 > 100: must queue until the first releases
 		close(admitted)
 	}()
 	deadline := time.After(2 * time.Second)
@@ -168,7 +169,7 @@ func TestAdmissionByteBudget(t *testing.T) {
 	a.release(60)
 	// An oversized request is admitted alone rather than rejected.
 	done := make(chan struct{})
-	go func() { a.acquire(500); close(done) }()
+	go func() { a.acquire(context.Background(), 500); close(done) }()
 	select {
 	case <-done:
 		a.release(500)
@@ -192,7 +193,7 @@ func TestSingleFlightColdFill(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			buf, sh, err := ft.do("k", func() ([]byte, error) {
+			buf, sh, err := ft.do(context.Background(), "k", func() ([]byte, error) {
 				fetches.Add(1)
 				<-release // hold the fill until every waiter has piled up
 				return want, nil
@@ -235,7 +236,7 @@ func TestSingleFlightColdFill(t *testing.T) {
 	}
 	// The completed fill must leave the table: the next reader fetches
 	// fresh (warmth is the extent cache's job).
-	if _, sh, _ := ft.do("k", func() ([]byte, error) { return want, nil }); sh {
+	if _, sh, _ := ft.do(context.Background(), "k", func() ([]byte, error) { return want, nil }); sh {
 		t.Fatal("completed fill still shared")
 	}
 }
@@ -258,7 +259,7 @@ func TestCoalescerMergesOverlappingWindow(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			box := grid.NewBox([]int{i, i}, []int{i + 8, i + 8})
-			buf, _, err := co.read(box)
+			buf, _, err := co.read(context.Background(), box)
 			if err != nil {
 				errs[i] = err
 				return
@@ -299,7 +300,7 @@ func TestCoalescerDisjointClustersStaySeparate(t *testing.T) {
 		wg.Add(1)
 		go func(b grid.Box) {
 			defer wg.Done()
-			buf, _, err := co.read(b)
+			buf, _, err := co.read(context.Background(), b)
 			if err != nil {
 				t.Error(err)
 			} else if !bytes.Equal(buf, sliceSrc(b)) {
@@ -320,7 +321,7 @@ func TestCoalescerZeroWindowPassthrough(t *testing.T) {
 		return sliceSrc(b), nil
 	})
 	box := grid.NewBox([]int{0, 0}, []int{4, 4})
-	buf, merged, err := co.read(box)
+	buf, merged, err := co.read(context.Background(), box)
 	if err != nil || merged || !bytes.Equal(buf, sliceSrc(box)) {
 		t.Fatalf("passthrough read wrong: merged=%v err=%v", merged, err)
 	}

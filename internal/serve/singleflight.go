@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -36,13 +37,23 @@ func newFlightTable() *flightTable {
 // do returns the fill result for key, issuing fetch only if no fill
 // for key is already in flight. shared reports that the caller waited
 // on another request's fill (a single-flight hit).
-func (t *flightTable) do(key string, fetch func() ([]byte, error)) (buf []byte, shared bool, err error) {
+//
+// ctx bounds only the WAIT of a non-leader: a waiter whose deadline
+// expires (or whose client disconnects) unparks with ctx's error and
+// releases its admission slot, while the fill keeps running for the
+// remaining waiters. The leader never abandons its fetch — it owes the
+// waiters a settled flight.
+func (t *flightTable) do(ctx context.Context, key string, fetch func() ([]byte, error)) (buf []byte, shared bool, err error) {
 	t.mu.Lock()
 	if fl, ok := t.inflight[key]; ok {
 		t.hits++
 		t.mu.Unlock()
-		<-fl.done
-		return fl.buf, true, fl.err
+		select {
+		case <-fl.done:
+			return fl.buf, true, fl.err
+		case <-ctx.Done():
+			return nil, true, fmt.Errorf("serve: abandoned in-flight fill for %q: %w", key, ctx.Err())
+		}
 	}
 	fl := &flight{done: make(chan struct{})}
 	t.inflight[key] = fl

@@ -96,6 +96,10 @@ type ArrayStats struct {
 type Stats struct {
 	Arrays  []ArrayStats           `json:"arrays"`
 	Tenants map[string]TenantStats `json:"tenants"`
+	// Panics counts handler panics settled with 500 by the recovery
+	// middleware; Draining mirrors /readyz.
+	Panics   int64 `json:"panics"`
+	Draining bool  `json:"draining"`
 }
 
 func (s *Server) arrayStats(a *array) ArrayStats {
@@ -118,7 +122,11 @@ func (s *Server) Stats() Stats {
 	}
 	s.mu.RUnlock()
 	sort.Slice(arrays, func(i, j int) bool { return arrays[i].name < arrays[j].name })
-	out := Stats{Tenants: s.tenants.snapshot()}
+	out := Stats{
+		Tenants:  s.tenants.snapshot(),
+		Panics:   s.panics.Load(),
+		Draining: s.draining.Load(),
+	}
 	for _, a := range arrays {
 		out.Arrays = append(out.Arrays, s.arrayStats(a))
 	}
