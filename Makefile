@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
 GO ?= go
 
-.PHONY: all build vet fmt test race race-collective race-serve race-fault race-client bench bench-collective ci
+.PHONY: all build vet fmt test race race-collective race-serve race-fault race-client race-spill bench bench-collective ci
 
 all: build
 
@@ -56,6 +56,15 @@ race-client:
 	$(GO) test -race -count=1 ./internal/drxclient
 	$(GO) test -race -run 'Chaos|AdmissionCancel|RequestTimeout|ShedOverload' . ./internal/serve
 
+# Tiered-cache suites under the race detector: the spill store is
+# shared by every reader of a file (demotions, promotions and punches
+# interleave from concurrent ReadThrough calls), the adaptive
+# controller retunes under the same lock, and the tiered differential
+# pins the spill-off path byte-identical to the RAM-only stack.
+race-spill:
+	$(GO) test -race -count=1 ./internal/spill
+	$(GO) test -race -run 'Spill|Tiered|Adaptive' . ./internal/mpiio ./internal/exp ./internal/serve
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -75,4 +84,4 @@ bench-collective:
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json
 	@cat BENCH_collective.json
 
-ci: build vet fmt test race race-collective race-serve race-fault race-client bench bench-collective
+ci: build vet fmt test race race-collective race-serve race-fault race-client race-spill bench bench-collective

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -103,9 +105,15 @@ func verifyEndState(ctx context.Context, cl *drxclient.Client, f *drxmp.File, ar
 // waitGoroutines polls until the goroutine count drops to at most
 // want+slack, failing after the deadline. Transport keep-alive and
 // handler teardown are asynchronous; polling is the honest check.
-func waitGoroutines(want, slack int, d time.Duration) error {
+// settle, if non-nil, runs each poll so connections that went idle
+// after the previous sweep (hedge losers, abandoned retries) still
+// get reaped before the deadline.
+func waitGoroutines(want, slack int, d time.Duration, settle func()) error {
 	deadline := time.Now().Add(d)
 	for {
+		if settle != nil {
+			settle()
+		}
 		n := runtime.NumGoroutine()
 		if n <= want+slack {
 			return nil
@@ -210,7 +218,7 @@ func TestChaosFaultyTransport(t *testing.T) {
 			return err
 		}
 		cl.CloseIdleConnections()
-		return waitGoroutines(base, 4, 5*time.Second)
+		return waitGoroutines(base, 4, 5*time.Second, cl.CloseIdleConnections)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -223,7 +231,10 @@ func TestChaosFaultyTransport(t *testing.T) {
 // retrying clients must ride through both outages: every worker
 // finishes, read-your-write holds, the end state is byte-identical
 // through the server and directly, and neither goroutines nor admission
-// budget leak.
+// budget leak. The array runs a tiered cache with a memory budget well
+// under the working set, so the outages also land mid-demotion; after
+// the file closes, its spill file must be gone — kill/restart cannot
+// leak local temp state.
 func TestChaosKillRestartMidWorkload(t *testing.T) {
 	const (
 		workers  = 6
@@ -232,14 +243,20 @@ func TestChaosKillRestartMidWorkload(t *testing.T) {
 		cols     = 48
 		kills    = 2
 	)
+	spillDir := t.TempDir()
+	spillPath := filepath.Join(spillDir, "chaos.spill")
 	err := cluster.Run(1, func(c *cluster.Comm) error {
 		f, err := drxmp.Create(c, "chaos-kill", drxmp.Options{
 			DType: drxmp.Float64, ChunkShape: []int{16, 16}, Bounds: []int{workers * bandRows, cols},
+			Tuning: drxmp.Tuning{CacheBytes: 4 << 10, SpillBytes: 64 << 10, SpillPath: spillPath},
 		})
 		if err != nil {
 			return err
 		}
 		defer f.Close()
+		if _, err := os.Stat(spillPath); err != nil {
+			return fmt.Errorf("spill file not created at open: %w", err)
+		}
 
 		newServer := func() *serve.Server {
 			srv := serve.New(serve.Config{
@@ -333,12 +350,28 @@ func TestChaosKillRestartMidWorkload(t *testing.T) {
 		if err := assertAdmissionIdle(srv); err != nil {
 			return err
 		}
+		if cs := f.CacheStats(); cs.SpillDemoted == 0 {
+			return fmt.Errorf("workload never exercised the spill tier: %+v", cs)
+		}
 		httpSrv.Close()
 		cl.CloseIdleConnections()
-		return waitGoroutines(base, 4, 5*time.Second)
+		return waitGoroutines(base, 4, 5*time.Second, cl.CloseIdleConnections)
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The file is closed: the spill tier must have removed its slab
+	// file — two hard kills and a concurrent workload leak no local
+	// temp state.
+	if _, err := os.Stat(spillPath); !os.IsNotExist(err) {
+		t.Fatalf("spill file survived close: stat err = %v", err)
+	}
+	ents, err := os.ReadDir(spillDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not empty after close: %d entries (%v)", len(ents), ents)
 	}
 }
 

@@ -3,18 +3,20 @@
 //
 // Usage:
 //
-//	drxbench -exp all            # everything (figures + E1..E22)
+//	drxbench -exp all            # everything (figures + E1..E23)
 //	drxbench -exp fig1           # one experiment
 //	drxbench -exp e4 -scale full # full-size run
 //	drxbench -exp e7 -csv        # CSV output
 //	drxbench -exp e16 -par 16    # parallel section I/O, wider sweep
 //	drxbench -exp e17 -cpar 16   # parallel collective, wider sweep
 //	drxbench -exp e20 -cache 4194304  # read-cache ablation, fixed 4 MiB budget
+//	drxbench -exp e23 -spill 8388608  # tiered cache, fixed 8 MiB spill budget
+//	drxbench -exp e23 -adaptive      # tiered cache, adaptive controller everywhere
 //	drxbench -benchjson BENCH_collective.json  # collective perf artifact
 //	                             # (scheduler/cb_nodes + e19 write-behind
-//	                             #  + e20 read-cache rows)
+//	                             #  + e20 read-cache + e23 tiered-cache rows)
 //
-// Experiments: fig1 fig2 fig3 e1..e22 (e11-e15 are design ablations,
+// Experiments: fig1 fig2 fig3 e1..e23 (e11-e15 are design ablations,
 // e16 is the parallel-vs-serial section I/O study, e17 the parallel
 // two-phase collective study, e18 the elevator-scheduler / adaptive
 // cb_nodes ablation, e19 the write-behind collective-buffering
@@ -23,12 +25,16 @@
 // the erasure-coded degraded-read ablation: straggler avoidance and
 // dead-server reconstruction vs wait-on-straggler reads, e22 the
 // resilient-client ablation: plain vs retrying vs hedged clients
-// against a straggling, flaky serving tier).
+// against a straggling, flaky serving tier, e23 the tiered-cache
+// ablation: RAM-only vs local-disk spill vs spill plus the adaptive
+// sieve/read-ahead controller on an oversized-working-set re-read).
 //
 // Flags: -exp, -scale, -csv, -list, -par (e16 worker sweep bound),
 // -cpar (e17 worker sweep bound), -cache (e20 cache budget in bytes;
-// 0 sizes the budget to the array), -benchjson (write the collective
-// perf artifact and exit).
+// 0 sizes the budget to the array), -spill (e23 spill-tier budget in
+// bytes; 0 sizes it to the array), -adaptive (force the adaptive
+// controller on in every cached e23 config), -benchjson (write the
+// collective perf artifact and exit).
 package main
 
 import (
@@ -71,16 +77,19 @@ var experiments = []struct {
 	{"e20", "unified file cache read ablation (cold/warm re-read, data sieving, read-ahead)", exp.E20ReadCache},
 	{"e21", "erasure-coded degraded reads (healthy / wait-straggler / degraded-straggler / degraded-dead)", exp.E21DegradedReads},
 	{"e22", "resilient client vs straggling/flaky serving tier (plain / retry / hedged)", exp.E22RetryHedge},
+	{"e23", "tiered extent cache (RAM-only / local-disk spill / spill + adaptive sieve & read-ahead)", exp.E23TieredCache},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e22)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e23)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")
 	parFlag := flag.Int("par", exp.DefaultParallelism, "max section-I/O parallelism swept by e16")
 	cparFlag := flag.Int("cpar", exp.DefaultCollectiveParallelism, "max collective parallelism swept by e17")
 	cacheFlag := flag.Int64("cache", 0, "read-cache budget in bytes for e20 (0 sizes it to the array)")
+	spillFlag := flag.Int64("spill", 0, "spill-tier budget in bytes for e23 (0 sizes it to the array)")
+	adaptiveFlag := flag.Bool("adaptive", false, "force the adaptive sieve/read-ahead controller on in every cached e23 config")
 	benchJSON := flag.String("benchjson", "", "write the collective benchmark rows (scheduler/cb_nodes, e19 write-behind, e20 read-cache) to this JSON file and exit")
 	flag.Parse()
 	if *parFlag > 0 {
@@ -92,6 +101,10 @@ func main() {
 	if *cacheFlag > 0 {
 		exp.DefaultCacheBytes = *cacheFlag
 	}
+	if *spillFlag > 0 {
+		exp.DefaultSpillBytes = *spillFlag
+	}
+	exp.DefaultAdaptive = *adaptiveFlag
 
 	if *list {
 		for _, e := range experiments {

@@ -135,6 +135,27 @@ type Tuning struct {
 	// (the default) disables read-ahead. Meaningful only with
 	// CacheBytes > 0. Every rank must pass the same value.
 	ReadAheadBytes int64
+	// SpillBytes enables the local-disk spill tier of the extent cache
+	// with that byte budget: extents evicted from the CacheBytes memory
+	// tier demote to a local spill file instead of dropping (clean) or
+	// flushing (dirty), reads consult memory → spill → pfs with spill
+	// hits promoted back under LRU, and write-behind can buffer far
+	// past RAM (spilled dirty bytes count toward the watermark and
+	// flush in the same vectored sweep). 0 (the default) disables the
+	// tier; requires CacheBytes > 0. Every rank must pass the same
+	// value.
+	SpillBytes int64
+	// SpillPath names the spill file; empty (the default) selects a
+	// temp file. The file is created at first use and removed when the
+	// array's store closes. Meaningful only with SpillBytes > 0.
+	SpillPath string
+	// AdaptiveIO enables histogram-driven tuning: the cache
+	// periodically re-derives its effective sieve block and read-ahead
+	// from the server request-size histograms (p90, stripe-rounded) and
+	// the observed read sequentiality, overriding the static
+	// ReadAheadBytes / IO().SieveSize values. Requires CacheBytes > 0.
+	// Every rank must pass the same value.
+	AdaptiveIO bool
 }
 
 // validate rejects knob values with no defined meaning. Negative
@@ -147,6 +168,18 @@ func (t Tuning) validate() error {
 	}
 	if t.ReadAheadBytes < 0 {
 		return fmt.Errorf("%w: negative ReadAheadBytes %d", ErrBadOptions, t.ReadAheadBytes)
+	}
+	if t.SpillBytes < 0 {
+		return fmt.Errorf("%w: negative SpillBytes %d", ErrBadOptions, t.SpillBytes)
+	}
+	if t.SpillBytes > 0 && t.CacheBytes == 0 {
+		return fmt.Errorf("%w: SpillBytes %d without CacheBytes (the spill tier backs the memory tier)", ErrBadOptions, t.SpillBytes)
+	}
+	if t.SpillPath != "" && t.SpillBytes == 0 {
+		return fmt.Errorf("%w: SpillPath %q without SpillBytes", ErrBadOptions, t.SpillPath)
+	}
+	if t.AdaptiveIO && t.CacheBytes == 0 {
+		return fmt.Errorf("%w: AdaptiveIO without CacheBytes (the controller tunes the cache)", ErrBadOptions)
 	}
 	return nil
 }
@@ -308,7 +341,17 @@ func Create(c *cluster.Comm, path string, opts Options) (*File, error) {
 		diskBacked:  fsOpts.Backend == pfs.Disk,
 		par:         opts.Parallelism,
 	}
-	f.applyTuning(opts.Tuning)
+	if err := f.applyTuning(opts.Tuning); err != nil {
+		// The one failing knob is the spill-tier open, which is
+		// attempted exactly once on the shared cache (the failure is
+		// sticky), so every rank observes the same error and returns
+		// here uniformly — no agreement round needed. Rank 0 owns the
+		// store it just created and releases it.
+		if c.Rank() == 0 {
+			fs.Close()
+		}
+		return nil, err
+	}
 	// Agree on the metadata-persist outcome before any rank returns a
 	// handle: persistMeta can only fail on rank 0 (it is a no-op
 	// elsewhere), and without the agreement round the other ranks would
@@ -390,7 +433,13 @@ func OpenWith(c *cluster.Comm, path string, opts OpenOptions) (*File, error) {
 		diskBacked:  true,
 		par:         opts.Parallelism,
 	}
-	f.applyTuning(opts.Tuning)
+	if err := f.applyTuning(opts.Tuning); err != nil {
+		// Same uniform-error reasoning as in Create.
+		if c.Rank() == 0 {
+			fs.Close()
+		}
+		return nil, err
+	}
 	return f, c.Barrier()
 }
 
@@ -486,15 +535,35 @@ func (f *File) Tuning() Tuning {
 		WriteBehindBytes:      f.io.WriteBehind,
 		CacheBytes:            f.io.CacheBytes,
 		ReadAheadBytes:        f.io.ReadAhead,
+		SpillBytes:            f.io.SpillBytes,
+		SpillPath:             f.io.SpillPath,
+		AdaptiveIO:            f.io.AdaptiveIO,
+	}
+}
+
+// knobs projects t onto the mpiio handle's parameter block, keeping
+// the handle's SieveSize (an IO()-level knob Tuning does not carry).
+func (f *File) knobs(t Tuning) mpiio.TuningKnobs {
+	return mpiio.TuningKnobs{
+		Parallelism: t.CollectiveParallelism,
+		CBNodes:     t.CBNodes,
+		WriteBehind: t.WriteBehindBytes,
+		CacheBytes:  t.CacheBytes,
+		SieveSize:   f.io.SieveSize,
+		ReadAhead:   t.ReadAheadBytes,
+		SpillBytes:  t.SpillBytes,
+		SpillPath:   t.SpillPath,
+		AdaptiveIO:  t.AdaptiveIO,
 	}
 }
 
 // applyTuning installs t without validation or flush side effects
-// (open/create path: nothing can be buffered yet).
-func (f *File) applyTuning(t Tuning) {
+// (open/create path: nothing can be buffered yet). A spill-tier open
+// failure surfaces here — it is the one knob with a resource behind
+// it.
+func (f *File) applyTuning(t Tuning) error {
 	f.par = t.Parallelism
-	_ = f.io.ApplyTuning(t.CollectiveParallelism, t.CBNodes,
-		t.WriteBehindBytes, t.CacheBytes, f.io.SieveSize, t.ReadAheadBytes)
+	return f.io.ApplyTuning(f.knobs(t))
 }
 
 // SetTuning validates t (ErrBadOptions on rejection) and applies every
@@ -508,8 +577,7 @@ func (f *File) SetTuning(t Tuning) error {
 		return err
 	}
 	f.par = t.Parallelism
-	return f.io.ApplyTuning(t.CollectiveParallelism, t.CBNodes,
-		t.WriteBehindBytes, t.CacheBytes, f.io.SieveSize, t.ReadAheadBytes)
+	return f.io.ApplyTuning(f.knobs(t))
 }
 
 // SetParallelism adjusts the per-rank I/O parallelism knob after open
@@ -582,6 +650,12 @@ func (f *File) SetReadAhead(n int64) {
 
 // ReadAhead returns the sieve read-ahead knob (0 = disabled).
 func (f *File) ReadAhead() int64 { return f.io.ReadAhead }
+
+// SpillBytes returns the spill-tier budget (0 = disabled).
+func (f *File) SpillBytes() int64 { return f.io.SpillBytes }
+
+// AdaptiveIO reports whether histogram-driven tuning is on.
+func (f *File) AdaptiveIO() bool { return f.io.AdaptiveIO }
 
 // CacheStats returns the cumulative unified-cache accounting for the
 // file (hits, misses, sieve fetches, evictions, absorbs, flushes).

@@ -133,6 +133,20 @@ type FaultTransport struct {
 	Rules []*FaultRule
 }
 
+// CloseIdleConnections forwards to the wrapped transport.
+// http.Client.CloseIdleConnections only reaches transports that
+// implement it, so without this forwarder a client built over a
+// FaultTransport can never release its kept-alive conns.
+func (ft *FaultTransport) CloseIdleConnections() {
+	base := ft.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if ci, ok := base.(interface{ CloseIdleConnections() }); ok {
+		ci.CloseIdleConnections()
+	}
+}
+
 // RoundTrip implements http.RoundTripper.
 func (ft *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 	base := ft.Base

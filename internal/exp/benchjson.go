@@ -33,6 +33,13 @@ type CollectiveBenchResult struct {
 	// Resilient-client rows only (ResilientBench): what fraction of
 	// launched hedges beat the primary attempt.
 	HedgeWinRate float64 `json:"hedge_win_rate,omitempty"`
+
+	// Tiered-cache rows only (TieredCacheBench): server reads the warm
+	// pass still issued, bytes promoted back from the spill tier, and
+	// how often the adaptive controller re-derived the sieve/read-ahead.
+	WarmReads     int64 `json:"warm_reads,omitempty"`
+	SpillPromoted int64 `json:"spill_promoted,omitempty"`
+	Retunes       int64 `json:"retunes,omitempty"`
 }
 
 // CollectiveBench runs one write_all+read_all round of the E18
@@ -125,8 +132,41 @@ func ReadCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
 	}, nil
 }
 
+// TieredCacheBench runs the E23 oversized-working-set re-read per tier
+// policy and returns the warm-pass throughput rows for the artifact:
+// "e23/ram-only" (the scan wraps past the LRU budget and re-pays the
+// servers), "e23/spill" (evictions demote to the local slab file, the
+// re-read promotes back), and "e23/spill+adaptive" (plus the
+// histogram-driven sieve/read-ahead controller). WriteMS is zero — the
+// passes are read-only.
+func TieredCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(512, 2048)
+	const servers = 8
+	stripe := int64(512)
+	bytesMoved := float64(n) * 32 * 8
+	var out []CollectiveBenchResult
+	for _, cfg := range e23Configs() {
+		ps, err := e23Run(n, servers, stripe, cfg, 2)
+		if err != nil {
+			return nil, fmt.Errorf("e23/%s: %w", cfg.name, err)
+		}
+		warm := ps[1]
+		out = append(out, CollectiveBenchResult{
+			Config:        "e23/" + cfg.name,
+			ReadMS:        float64(warm.Wall) / float64(time.Millisecond),
+			MBps:          bytesMoved / (1 << 20) * float64(time.Second) / float64(warm.Wall),
+			Seeks:         warm.Seeks,
+			WarmReads:     warm.Reads,
+			SpillPromoted: warm.Cache.SpillPromoted,
+			Retunes:       warm.Cache.Retunes,
+		})
+	}
+	return out, nil
+}
+
 // WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench,
-// ReadCacheBench, ServeBench, DegradedBench and ResilientBench and
+// ReadCacheBench, ServeBench, DegradedBench, ResilientBench and
+// TieredCacheBench and
 // writes the combined rows to path as indented JSON — the
 // BENCH_collective.json artifact CI uploads per PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
@@ -159,6 +199,11 @@ func WriteCollectiveBenchJSON(path string, sc Scale) error {
 		return err
 	}
 	rows = append(rows, rsRows...)
+	tcRows, err := TieredCacheBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, tcRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

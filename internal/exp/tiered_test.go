@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE23SpillBeatsRAMOnlyWarmReread pins the tiered-cache acceptance
+// bar at Quick scale: on the oversized-working-set re-read the spill
+// config's warm pass issues fewer pfs reads than RAM-only (the bytes
+// come back from the local slab file instead), actually moves bytes
+// through the spill tier in both directions, and is at least 1.5x
+// faster — MB/s over the same bytes, so the wall-time ratio is the
+// throughput ratio.
+func TestE23SpillBeatsRAMOnlyWarmReread(t *testing.T) {
+	const n, servers = 512, 8
+	stripe := int64(512)
+	ram, err := e23Run(n, servers, stripe, e23Config{name: "ram-only"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := e23Run(n, servers, stripe, e23Config{name: "spill", spill: true}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ramWarm, spWarm := ram[1], sp[1]
+	if ramWarm.Reads == 0 {
+		t.Fatal("RAM-only warm pass hit entirely in memory; the working set no longer exceeds the budget")
+	}
+	if spWarm.Reads >= ramWarm.Reads {
+		t.Fatalf("spill warm pass issued %d pfs reads, RAM-only %d; want fewer", spWarm.Reads, ramWarm.Reads)
+	}
+	cs := spWarm.Cache
+	if cs.SpillDemoted == 0 || cs.SpillPromoted == 0 || cs.SpillHits == 0 {
+		t.Fatalf("spill tier never exercised: %+v", cs)
+	}
+	if float64(ramWarm.Wall) < 1.5*float64(spWarm.Wall) {
+		t.Fatalf("spill warm = %v vs RAM-only warm = %v; want >= 1.5x throughput",
+			spWarm.Wall.Round(time.Microsecond), ramWarm.Wall.Round(time.Microsecond))
+	}
+}
+
+// TestE23AdaptiveConvergesWithinRun pins the adaptive controller's
+// behavior: over a three-pass run it retunes at least once off the
+// static defaults, and its final pass applies no further retunes — the
+// recommendation went quiet, the convergence signal.
+func TestE23AdaptiveConvergesWithinRun(t *testing.T) {
+	const n, servers = 512, 8
+	stripe := int64(512)
+	ps, err := e23Run(n, servers, stripe, e23Config{name: "spill+adaptive", spill: true, adaptive: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, prev := ps[2].Cache, ps[1].Cache
+	if last.Retunes < 1 {
+		t.Fatalf("adaptive controller never retuned: %+v", last)
+	}
+	if last.Retunes != prev.Retunes {
+		t.Fatalf("controller still retuning in the final pass (%d -> %d); did not converge",
+			prev.Retunes, last.Retunes)
+	}
+	if last.SieveSize == stripe && last.ReadAheadBytes == 0 {
+		t.Fatalf("effective knobs never moved off the static defaults: sieve=%d ra=%d",
+			last.SieveSize, last.ReadAheadBytes)
+	}
+}

@@ -91,6 +91,28 @@ type File struct {
 	// Meaningful only with CacheBytes > 0.
 	ReadAhead int64
 
+	// SpillBytes enables the local-disk spill tier of the extent cache
+	// with that byte budget: extents evicted from the memory tier
+	// demote to a local spill file instead of dropping (clean) or
+	// flushing (dirty), and reads consult memory → spill → pfs,
+	// promoting spill hits back under LRU. 0 (the default) disables the
+	// tier. Meaningful only with CacheBytes > 0; every rank must use
+	// the same value.
+	SpillBytes int64
+
+	// SpillPath names the spill file; empty selects a temp file. The
+	// file is created at first use and removed when the store closes.
+	// Meaningful only with SpillBytes > 0.
+	SpillPath string
+
+	// AdaptiveIO enables the histogram-driven controller: every few
+	// cache misses the effective SieveSize/ReadAhead are re-derived
+	// from the observed server request-size distribution and read
+	// sequentiality (internal/tune), overriding the static values
+	// above. Meaningful only with CacheBytes > 0; every rank must use
+	// the same value.
+	AdaptiveIO bool
+
 	// fc memoizes the shared extent cache. Atomic because the parallel
 	// independent-read path resolves it from concurrent run-group
 	// workers (every resolver stores the same per-store instance, so
@@ -101,18 +123,32 @@ type File struct {
 // workers resolves the collective parallelism knob.
 func (f *File) workers() int { return par.Resolve(f.Parallelism) }
 
+// cacheConfig projects this handle's policy knobs into the shared
+// cache's Configure block.
+func (f *File) cacheConfig() cacheConfig {
+	return cacheConfig{
+		budget:     f.CacheBytes,
+		sieve:      f.SieveSize,
+		readAhead:  f.ReadAhead,
+		spillBytes: f.SpillBytes,
+		spillPath:  f.SpillPath,
+		adaptive:   f.AdaptiveIO,
+	}
+}
+
 // cache returns the file's shared extent cache, creating it (and
 // registering its flush with the store's Close) on first use, and
 // re-applies this handle's policy knobs (CacheBytes/SieveSize/
-// ReadAhead — shared state, so every rank must use the same values).
-// Every handle on the same store resolves to the same cache.
+// ReadAhead/SpillBytes/SpillPath/AdaptiveIO — shared state, so every
+// rank must use the same values). Every handle on the same store
+// resolves to the same cache.
 func (f *File) cache() *fileCache {
 	c := f.fc.Load()
 	if c == nil {
 		c = sharedFileCache(f.fs)
 		f.fc.Store(c)
 	}
-	c.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+	c.Configure(f.cacheConfig())
 	return c
 }
 
@@ -140,7 +176,7 @@ func (f *File) cacheActive() bool { return f.CacheBytes > 0 }
 func (f *File) SetCacheBytes(n int64) {
 	f.CacheBytes = n
 	if w := f.sharedCache(); w != nil {
-		w.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+		w.Configure(f.cacheConfig())
 	}
 }
 
@@ -148,28 +184,65 @@ func (f *File) SetCacheBytes(n int64) {
 func (f *File) SetReadAhead(n int64) {
 	f.ReadAhead = n
 	if w := f.sharedCache(); w != nil {
-		w.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+		w.Configure(f.cacheConfig())
 	}
+}
+
+// TuningKnobs is ApplyTuning's parameter block — one field per handle
+// knob, so the signature stops growing positionally as knobs accrue.
+type TuningKnobs struct {
+	Parallelism int
+	CBNodes     int
+	WriteBehind int64
+	CacheBytes  int64
+	SieveSize   int64
+	ReadAhead   int64
+	SpillBytes  int64
+	SpillPath   string
+	AdaptiveIO  bool
 }
 
 // ApplyTuning installs every collective/cache knob of the handle in
 // one call — the atomic application point behind drxmp.File.SetTuning,
-// so a serving tier can swap a whole tenant profile instead of six
-// setters. The shared cache is reconfigured once, and disabling
+// so a serving tier can swap a whole tenant profile instead of
+// individual setters. The shared cache is reconfigured once. Disabling
 // write-behind (newly zero) flushes the buffered dirty extents exactly
-// as the individual setter does, returning the flush error.
-func (f *File) ApplyTuning(collectivePar, cbNodes int, writeBehind, cacheBytes, sieveSize, readAhead int64) error {
+// as the individual setter does; disabling the cache or the spill tier
+// first drains every deferred byte under the OLD configuration (the
+// caching sweep is the only path that reads dirty extents back out of
+// the spill file). Enabling the spill tier opens the spill file
+// eagerly, so a bad SpillPath fails this call rather than silently
+// degrading later.
+func (f *File) ApplyTuning(k TuningKnobs) error {
 	wasWB := f.WriteBehind
-	f.Parallelism = collectivePar
-	f.CBNodes = cbNodes
-	f.WriteBehind = writeBehind
-	f.CacheBytes = cacheBytes
-	f.SieveSize = sieveSize
-	f.ReadAhead = readAhead
-	if w := f.sharedCache(); w != nil {
-		w.Configure(f.CacheBytes, f.SieveSize, f.ReadAhead)
+	if (k.CacheBytes <= 0 && f.CacheBytes > 0) || (k.SpillBytes <= 0 && f.SpillBytes > 0) {
+		if w := f.sharedCache(); w != nil {
+			if err := w.FlushAll(); err != nil {
+				return err
+			}
+		}
 	}
-	if writeBehind == 0 && wasWB != 0 {
+	f.Parallelism = k.Parallelism
+	f.CBNodes = k.CBNodes
+	f.WriteBehind = k.WriteBehind
+	f.CacheBytes = k.CacheBytes
+	f.SieveSize = k.SieveSize
+	f.ReadAhead = k.ReadAhead
+	f.SpillBytes = k.SpillBytes
+	f.SpillPath = k.SpillPath
+	f.AdaptiveIO = k.AdaptiveIO
+	var w *fileCache
+	if f.SpillBytes > 0 && f.CacheBytes > 0 {
+		w = f.cache() // eager: the spill file opens here
+	} else if w = f.sharedCache(); w != nil {
+		w.Configure(f.cacheConfig())
+	}
+	if w != nil {
+		if err := w.SpillErr(); err != nil {
+			return err
+		}
+	}
+	if k.WriteBehind == 0 && wasWB != 0 {
 		return f.Sync()
 	}
 	return nil

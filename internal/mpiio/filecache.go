@@ -6,6 +6,8 @@ import (
 
 	"drxmp/internal/extent"
 	"drxmp/internal/pfs"
+	"drxmp/internal/spill"
+	"drxmp/internal/tune"
 )
 
 // Unified per-file extent cache: the write-behind machinery of PR 4
@@ -56,6 +58,29 @@ import (
 //     sieve fetches: a fetch that raced a write serves its caller but
 //     does not insert, so pre-write store bytes can never enter the
 //     cache as clean.
+//
+// Tiering (PR 9): with Tuning.SpillBytes set, eviction DEMOTES instead
+// of dropping — clean victims (and, under dirty-only budget pressure,
+// LRU dirty extents) move to a local-disk spill tier (internal/spill),
+// and ReadThrough consults memory → spill → pfs, promoting spill hits
+// back into memory under the same LRU. The tiers stay disjoint: an
+// offset is covered by at most one tier (demote and promote move
+// extents under one mu critical section; spill.Put punches its own
+// overlaps; every cache punch punches both tiers), so the fetch
+// planner can treat "memory ∪ spill coverage" as THE cached set and
+// clip speculative sieve/read-ahead fetches against it — a stale store
+// byte must never shadow a newer spilled byte. Dirty bytes in the
+// spill tier still count toward Bytes() (the write-behind watermark)
+// and flush in the same vectored FlushV sweep as the memory tier's
+// (CollectDirty reads them back, MarkClean settles them by entry id so
+// a mid-sweep punch keeps its remainder dirty).
+//
+// Adaptive tuning (Tuning.AdaptiveIO): every tuneEvery cache misses
+// the controller re-derives the effective sieve block and read-ahead
+// from the window of server request sizes (pfs.Hist quantiles) and
+// request sequentiality observed since the last retune
+// (internal/tune.Recommend), overriding the configured base values
+// until the next Configure turns it off.
 
 // cext is one cached byte range and its buffered data
 // (len(data) == length of the range).
@@ -80,9 +105,26 @@ type CacheStats struct {
 	SieveFetched int64 // bytes fetched by sieve reads (>= MissBytes: rounding + read-ahead)
 	Evicted      int64 // clean bytes evicted by the memory budget
 	FlushEvicted int64 // dirty bytes flushed by budget pressure
+
+	// Spill tier (all zero when Tuning.SpillBytes is 0).
+	SpillDemoted  int64 // bytes demoted from memory into the spill tier
+	SpillPromoted int64 // bytes promoted back from the spill tier
+	SpillHits     int64 // ReadThrough calls served partly from the spill tier
+	SpillHitBytes int64 // requested bytes that hit the spill tier
+	SpillRejected int64 // demotions the spill tier refused (budget/disk)
+	SpillUsed     int64 // gauge: live spilled bytes right now
+	SpillDirty    int64 // gauge: dirty spilled bytes right now
+
+	// Adaptive controller (Retunes stays zero when Tuning.AdaptiveIO is
+	// off; the gauges always report the effective values).
+	Retunes        int64 // adaptive sieve/read-ahead re-derivations applied
+	SieveSize      int64 // gauge: effective sieve block size
+	ReadAheadBytes int64 // gauge: effective read-ahead
 }
 
-// Sub returns s - t field-wise.
+// Sub returns s - t field-wise for the cumulative counters; the gauges
+// (SpillUsed, SpillDirty, SieveSize, ReadAheadBytes) keep s's current
+// values — a delta of an instantaneous reading is meaningless.
 func (s CacheStats) Sub(t CacheStats) CacheStats {
 	return CacheStats{
 		Absorbed:     s.Absorbed - t.Absorbed,
@@ -94,6 +136,18 @@ func (s CacheStats) Sub(t CacheStats) CacheStats {
 		SieveFetched: s.SieveFetched - t.SieveFetched,
 		Evicted:      s.Evicted - t.Evicted,
 		FlushEvicted: s.FlushEvicted - t.FlushEvicted,
+
+		SpillDemoted:  s.SpillDemoted - t.SpillDemoted,
+		SpillPromoted: s.SpillPromoted - t.SpillPromoted,
+		SpillHits:     s.SpillHits - t.SpillHits,
+		SpillHitBytes: s.SpillHitBytes - t.SpillHitBytes,
+		SpillRejected: s.SpillRejected - t.SpillRejected,
+		SpillUsed:     s.SpillUsed,
+		SpillDirty:    s.SpillDirty,
+
+		Retunes:        s.Retunes - t.Retunes,
+		SieveSize:      s.SieveSize,
+		ReadAheadBytes: s.ReadAheadBytes,
 	}
 }
 
@@ -125,7 +179,46 @@ type fileCache struct {
 	sieve     int64 // sieve block size; 0 = stripe size
 	readAhead int64 // extra fetch bytes past each miss; 0 = none
 
+	// Spill tier. spill stays nil until a Configure with positive
+	// spillBytes (and an active budget) opens it; spillErr is the sticky
+	// open failure, retried only when the spill config changes.
+	spill      *spill.Store
+	spillBytes int64
+	spillPath  string
+	spillErr   error
+
+	// Adaptive controller. adaptSieve/adaptRA override the configured
+	// base sieve/readAhead once adaptSet — the base values survive, so
+	// turning the controller off restores them. The windows (tunedReq,
+	// seqReads/randReads) reset at every retune.
+	adaptive   bool
+	adaptSet   bool
+	adaptSieve int64
+	adaptRA    int64
+	missTune   int      // cache misses since the last retune
+	tunedReq   pfs.Hist // server ReqSizes snapshot at the last retune
+	seqReads   int64    // window: reads continuing the previous request
+	randReads  int64    // window: reads that jumped
+	lastEnd    int64    // end offset of the last ReadThrough request
+
 	stats CacheStats
+}
+
+// tuneEvery is the adaptive controller's cadence: re-derive the sieve
+// and read-ahead every this many cache misses (hits carry no new
+// information about what the store is being asked for).
+const tuneEvery = 8
+
+// cacheConfig is the policy block Configure installs — the cache-side
+// projection of drxmp.Tuning. Handles re-apply it on every resolve;
+// every rank must agree (last writer wins).
+type cacheConfig struct {
+	budget     int64 // memory budget; 0 disables clean caching
+	sieve      int64 // base sieve block; 0 = stripe size
+	readAhead  int64 // base read-ahead; 0 = none
+	spillBytes int64 // spill-tier budget; 0 disables the tier
+	spillPath  string
+	adaptive   bool
 }
 
 func newFileCache(fs *pfs.FS) *fileCache {
@@ -142,8 +235,10 @@ func sharedFileCache(fs *pfs.FS) *fileCache {
 	return fs.Aux(fcAuxKey, func() any {
 		w := newFileCache(fs)
 		// The ordering guarantee on FS.Close: the cache drains through
-		// the still-open queues before Close drains them.
-		fs.AddCloseFlusher(w.FlushAll)
+		// the still-open queues before Close drains them (and only then
+		// releases its spill file — the sweep reads dirty bytes back
+		// from it).
+		fs.AddCloseFlusher(w.closeHook)
 		return w
 	}).(*fileCache)
 }
@@ -156,14 +251,58 @@ func lookupFileCache(fs *pfs.FS) *fileCache {
 	return nil
 }
 
+// closeHook is the cache's FS.Close flusher: drain every deferred byte
+// of both tiers (FlushAll's sweep reads dirty spilled bytes back from
+// the spill file), then release the spill file itself, so a closed
+// store never leaks a local temp file.
+func (w *fileCache) closeHook() error {
+	err := w.FlushAll()
+	w.mu.Lock()
+	sp := w.spill
+	w.spill = nil
+	w.mu.Unlock()
+	if sp != nil {
+		if cerr := sp.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
 // Configure installs the cache policy. Handles re-apply their knobs on
 // every resolve; every rank must use the same values (last writer
 // wins). Dropping the budget to 0 returns the cache to wb-only mode
-// and releases every clean extent.
-func (w *fileCache) Configure(budget, sieve, readAhead int64) {
+// and releases every clean extent. A positive spillBytes (with an
+// active budget) opens the spill tier on first application; an open
+// failure is sticky (SpillErr) until the spill config changes.
+// Disabling the tier releases the spill file once nothing dirty
+// remains inside (ApplyTuning flushes before disabling, so that is
+// immediate on the tuning path).
+func (w *fileCache) Configure(cfg cacheConfig) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.budget, w.sieve, w.readAhead = budget, sieve, readAhead
+	budget := cfg.budget
+	w.budget, w.sieve, w.readAhead = cfg.budget, cfg.sieve, cfg.readAhead
+	if !cfg.adaptive && w.adaptive {
+		w.adaptSet = false // controller off: back to the base values
+	}
+	w.adaptive = cfg.adaptive
+	if cfg.spillBytes != w.spillBytes || cfg.spillPath != w.spillPath {
+		w.spillErr = nil // config changed: a failed open may retry
+		if w.spill != nil && w.spill.Dirty() == 0 {
+			w.spill.Close()
+			w.spill = nil
+		}
+	}
+	w.spillBytes, w.spillPath = cfg.spillBytes, cfg.spillPath
+	if w.spillBytes > 0 && w.budget > 0 {
+		if w.spill == nil && w.spillErr == nil {
+			w.spill, w.spillErr = spill.Open(w.spillPath, w.spillBytes)
+		}
+	} else if w.spill != nil && w.spill.Dirty() == 0 {
+		w.spill.Close()
+		w.spill = nil
+	}
 	if budget <= 0 {
 		keep := w.ext[:0]
 		for _, e := range w.ext {
@@ -185,19 +324,48 @@ func (w *fileCache) caching() bool {
 	return w.budget > 0
 }
 
-// sieveSize resolves the sieve block granularity.
+// SpillErr returns the sticky spill-tier open failure, if any — the
+// handle surfaces it through ApplyTuning so a bad SpillPath fails the
+// open/SetTuning call instead of silently degrading.
+func (w *fileCache) SpillErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.spillErr
+}
+
+// sieveSize resolves the effective sieve block granularity (the
+// adaptive override when set, else the configured base, else the
+// stripe size). Must be called with w.mu held.
 func (w *fileCache) sieveSize() int64 {
+	if w.adaptSet && w.adaptSieve > 0 {
+		return w.adaptSieve
+	}
 	if w.sieve > 0 {
 		return w.sieve
 	}
 	return w.fs.StripeSize()
 }
 
-// Bytes returns the currently buffered dirty bytes.
+// readAheadSize resolves the effective read-ahead. Must be called with
+// w.mu held.
+func (w *fileCache) readAheadSize() int64 {
+	if w.adaptSet {
+		return w.adaptRA
+	}
+	return w.readAhead
+}
+
+// Bytes returns the currently buffered dirty bytes — BOTH tiers, so
+// the write-behind watermark counts every deferred byte no matter
+// where it is staged.
 func (w *fileCache) Bytes() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.dirty
+	d := w.dirty
+	if w.spill != nil {
+		d += w.spill.Dirty()
+	}
+	return d
 }
 
 // Cached returns the currently buffered total bytes (clean + dirty).
@@ -207,11 +375,20 @@ func (w *fileCache) Cached() int64 {
 	return w.total
 }
 
-// Stats returns a snapshot of the cumulative cache accounting.
+// Stats returns a snapshot of the cumulative cache accounting, with
+// the gauge fields (spill occupancy, effective sieve/read-ahead)
+// filled from the current state.
 func (w *fileCache) Stats() CacheStats {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.stats
+	st := w.stats
+	st.SieveSize = w.sieveSize()
+	st.ReadAheadBytes = w.readAheadSize()
+	if w.spill != nil {
+		st.SpillUsed = w.spill.Used()
+		st.SpillDirty = w.spill.Dirty()
+	}
+	return st
 }
 
 // Absorb merges the dirty run [off, off+len(p)) into the cache,
@@ -327,6 +504,15 @@ func (w *fileCache) punchLocked(off, n int64, cleanOnly bool) {
 		return
 	}
 	w.gen++
+	// Every punch means "this range is about to be superseded", so the
+	// spill tier loses it too — all colors even on the cleanOnly path
+	// (an absorb's new dirty bytes supersede older spilled dirty bytes
+	// exactly as they supersede clean ones; the memory-side dirty
+	// overlap is what merges, and it is never in the spill tier at the
+	// same time).
+	if w.spill != nil {
+		w.spill.Punch(off, n)
+	}
 	end := off + n
 	var out []*cext
 	for _, e := range w.ext {
@@ -400,7 +586,7 @@ func (w *fileCache) FlushAll() error {
 		w.stats.Flushes++
 	}
 	w.mu.Unlock()
-	if err := w.flushExtents(ext); err != nil {
+	if err := w.flushExtents(ext, nil); err != nil {
 		// The extents were removed before the sweep; putting their
 		// bytes back keeps the dirty data buffered for a retry instead
 		// of silently dropping it on a failed flush.
@@ -423,11 +609,16 @@ func (w *fileCache) FlushIntersecting(runs []pfs.Run) error {
 	defer w.flushMu.Unlock()
 	w.mu.Lock()
 	victims := w.pickDirty(runs)
-	if len(victims) == 0 {
+	spillDirty := w.spill != nil && w.spill.Dirty() > 0
+	if len(victims) == 0 && !spillDirty {
 		w.mu.Unlock()
 		return nil
 	}
 	if w.budget > 0 {
+		// The caching sweep also drains the spill tier's dirty bytes
+		// (all of them, not just the intersecting ones — flushing
+		// deferred bytes early is always safe, and it keeps the sweep
+		// one vectored FlushV).
 		return w.flushMarkCleanLocked(victims) // unlocks w.mu
 	}
 	flush := make([]*cext, 0, len(victims))
@@ -446,7 +637,7 @@ func (w *fileCache) FlushIntersecting(runs []pfs.Run) error {
 	w.ext = keep
 	w.stats.Flushes++
 	w.mu.Unlock()
-	if err := w.flushExtents(flush); err != nil {
+	if err := w.flushExtents(flush, nil); err != nil {
 		w.restoreDirty(flush)
 		return err
 	}
@@ -479,15 +670,24 @@ func (w *fileCache) restoreDirty(ext []*cext) {
 }
 
 // flushMarkCleanLocked is the caching-mode flush: write the victim
-// extents back as one vectored sweep and mark them clean IN PLACE, so
-// the data never leaves the cache mid-flush (readers stay coherent
+// extents — plus every dirty extent of the spill tier, read back from
+// the spill file — as one vectored sweep and mark them clean IN PLACE,
+// so the data never leaves the cache mid-flush (readers stay coherent
 // without taking flushMu). Entered with w.mu held (and flushMu held by
 // the caller); returns with both released... flushMu by the caller's
 // defer. A victim punched or re-absorbed during the sweep (a new
-// pointer replaced it) keeps its replacement's dirtiness — the
-// replacement flushes later.
+// pointer in memory, a new entry id in the spill tier) keeps its
+// replacement's dirtiness — the replacement flushes later.
 func (w *fileCache) flushMarkCleanLocked(victims []*cext) error {
-	if len(victims) == 0 {
+	var chunks []spill.Chunk
+	if w.spill != nil && w.spill.Dirty() > 0 {
+		var err error
+		if chunks, err = w.spill.CollectDirty(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
+	if len(victims) == 0 && len(chunks) == 0 {
 		w.mu.Unlock()
 		return nil
 	}
@@ -495,7 +695,7 @@ func (w *fileCache) flushMarkCleanLocked(victims []*cext) error {
 	snap := make([]*cext, len(victims))
 	copy(snap, victims)
 	w.mu.Unlock()
-	if err := w.flushExtents(snap); err != nil {
+	if err := w.flushExtents(snap, chunks); err != nil {
 		return err
 	}
 	w.mu.Lock()
@@ -509,36 +709,54 @@ func (w *fileCache) flushMarkCleanLocked(victims []*cext) error {
 			w.dirty -= int64(len(e.data))
 		}
 	}
+	if w.spill != nil && len(chunks) > 0 {
+		ids := make([]int64, len(chunks))
+		for i, c := range chunks {
+			ids[i] = c.ID
+		}
+		w.spill.MarkClean(ids)
+	}
 	w.evictCleanLocked()
 	w.mu.Unlock()
 	return nil
 }
 
-// flushExtents issues one vectored FlushV covering the given extents
-// (sorted by offset on a copy; extent data is immutable once created,
-// so snapshots taken under mu stay valid without it).
-func (w *fileCache) flushExtents(ext []*cext) error {
-	if len(ext) == 0 {
+// flushExtents issues one vectored FlushV covering the given memory
+// extents plus the spill-tier chunks (sorted together by offset on a
+// copy; extent data is immutable once created, so snapshots taken
+// under mu stay valid without it — the two tiers are disjoint, so the
+// merged run list stays pairwise disjoint too).
+func (w *fileCache) flushExtents(ext []*cext, chunks []spill.Chunk) error {
+	type piece struct {
+		off  int64
+		data []byte
+	}
+	pieces := make([]piece, 0, len(ext)+len(chunks))
+	for _, e := range ext {
+		pieces = append(pieces, piece{e.off, e.data})
+	}
+	for _, c := range chunks {
+		pieces = append(pieces, piece{c.Off, c.Data})
+	}
+	if len(pieces) == 0 {
 		return nil
 	}
-	sorted := make([]*cext, len(ext))
-	copy(sorted, ext)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
-	runs := make([]pfs.Run, len(sorted))
+	sort.Slice(pieces, func(i, j int) bool { return pieces[i].off < pieces[j].off })
+	runs := make([]pfs.Run, len(pieces))
 	var total int64
-	for i, e := range sorted {
-		runs[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
-		total += int64(len(e.data))
+	for i, p := range pieces {
+		runs[i] = pfs.Run{Off: p.off, Len: int64(len(p.data))}
+		total += int64(len(p.data))
 	}
 	var buf []byte
-	if len(sorted) == 1 {
-		buf = sorted[0].data // single extent: no packing copy needed
+	if len(pieces) == 1 {
+		buf = pieces[0].data // single extent: no packing copy needed
 	} else {
 		buf = make([]byte, total)
 		var at int64
-		for _, e := range sorted {
-			copy(buf[at:], e.data)
-			at += int64(len(e.data))
+		for _, p := range pieces {
+			copy(buf[at:], p.data)
+			at += int64(len(p.data))
 		}
 	}
 	_, err := w.fs.FlushV(runs, buf)
@@ -548,8 +766,12 @@ func (w *fileCache) flushExtents(ext []*cext) error {
 // evictCleanLocked removes clean extents in LRU order until the cache
 // fits its budget (or only dirty extents remain): one sorted pass over
 // the clean extents and one slice rebuild, so a large over-budget
-// round costs O(n log n) rather than a min-scan per victim. Must be
-// called with w.mu held.
+// round costs O(n log n) rather than a min-scan per victim. With the
+// spill tier on, eviction DEMOTES: each victim's bytes move to the
+// spill file before the memory copy drops, so a warm working set
+// larger than RAM re-reads from local disk instead of the pfs (a
+// refused demote — spill budget full, disk failure — degrades to the
+// plain drop). Must be called with w.mu held.
 func (w *fileCache) evictCleanLocked() {
 	if w.budget <= 0 || w.total <= w.budget {
 		return
@@ -569,6 +791,13 @@ func (w *fileCache) evictCleanLocked() {
 		n := int64(len(e.data))
 		w.total -= n
 		w.stats.Evicted += n
+		if w.spill != nil {
+			if w.spill.Put(e.off, e.data, false) {
+				w.stats.SpillDemoted += n
+			} else {
+				w.stats.SpillRejected++
+			}
+		}
 		drop[e] = true
 	}
 	if len(drop) == 0 {
@@ -595,6 +824,45 @@ func (w *fileCache) EnforceBudget() error {
 		return nil
 	}
 	w.evictCleanLocked()
+	// Dirty bytes alone exceed the memory budget: with the spill tier
+	// on, demote LRU dirty extents to local disk first — write-behind
+	// keeps buffering far past RAM and the flush sweep reads them back
+	// from the spill file — falling back to flush-on-evict for whatever
+	// the spill tier cannot take (its budget may itself be full of
+	// dirty bytes, which it never drops).
+	if w.spill != nil && w.total > w.budget {
+		var dirtyExts []*cext
+		for _, e := range w.ext {
+			if e.dirty {
+				dirtyExts = append(dirtyExts, e)
+			}
+		}
+		sort.Slice(dirtyExts, func(i, j int) bool { return dirtyExts[i].use < dirtyExts[j].use })
+		demoted := make(map[*cext]bool, len(dirtyExts))
+		for _, e := range dirtyExts {
+			if w.total <= w.budget {
+				break
+			}
+			n := int64(len(e.data))
+			if !w.spill.Put(e.off, e.data, true) {
+				w.stats.SpillRejected++
+				break
+			}
+			w.stats.SpillDemoted += n
+			w.total -= n
+			w.dirty -= n
+			demoted[e] = true
+		}
+		if len(demoted) > 0 {
+			keep := w.ext[:0]
+			for _, e := range w.ext {
+				if !demoted[e] {
+					keep = append(keep, e)
+				}
+			}
+			w.ext = keep
+		}
+	}
 	over := w.total > w.budget
 	w.mu.Unlock()
 	if !over {
@@ -639,11 +907,39 @@ type hole struct {
 // (budget > 0); File.ReadV and the collective aggregateRead route
 // through here when it is on.
 func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
-	// Phase 1: serve what the cache covers, collect the holes.
+	// Phase 1: serve what the cache covers, collect the holes. Spill
+	// hits promote FIRST — still under this same mu hold, so the hole
+	// computation below sees the promoted extents as ordinary memory
+	// coverage and the two tiers never cover a byte twice.
 	w.mu.Lock()
 	genStart := w.gen
 	w.clock++
 	stamp := w.clock
+	if w.adaptive && len(runs) > 0 {
+		if runs[0].Off == w.lastEnd {
+			w.seqReads++
+		} else {
+			w.randReads++
+		}
+		w.lastEnd = runs[len(runs)-1].Off + runs[len(runs)-1].Len
+	}
+	var promoted bool
+	if w.spill != nil {
+		var hitSpill int64
+		for _, r := range runs {
+			n, err := w.promoteLocked(r.Off, r.Len, stamp)
+			if err != nil {
+				w.mu.Unlock()
+				return err
+			}
+			hitSpill += n
+		}
+		if hitSpill > 0 {
+			promoted = true
+			w.stats.SpillHits++
+			w.stats.SpillHitBytes += hitSpill
+		}
+	}
 	var holes []hole
 	var at, hitBytes int64
 	for _, r := range runs {
@@ -674,6 +970,11 @@ func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
 	w.stats.HitBytes += hitBytes
 	if len(holes) == 0 {
 		w.stats.Hits++
+		if promoted {
+			// Promotion grew the memory tier; shed the coldest extents
+			// (which demote right back out) rather than sit over budget.
+			w.evictCleanLocked()
+		}
 		w.mu.Unlock()
 		return nil
 	}
@@ -681,8 +982,14 @@ func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
 	for _, h := range holes {
 		w.stats.MissBytes += h.n
 	}
+	if w.adaptive {
+		w.missTune++
+		if w.missTune >= tuneEvery {
+			w.retuneLocked()
+		}
+	}
 	sieve := w.sieveSize()
-	ra := w.readAhead
+	ra := w.readAheadSize()
 	// The fetch plan: the holes' sieve-aligned covering blocks plus the
 	// read-ahead extension, CLIPPED against what the cache already
 	// holds — block rounding and read-ahead must never re-read bytes a
@@ -702,9 +1009,16 @@ func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
 		ahead := ((ra + sieve - 1) / sieve) * sieve
 		blocks = append(blocks, pfs.Run{Off: last.Off + last.Len, Len: ahead})
 	}
-	cover := make([]pfs.Run, len(w.ext))
+	cover := make([]pfs.Run, len(w.ext), len(w.ext)+8)
 	for i, e := range w.ext {
 		cover[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
+	}
+	if w.spill != nil {
+		// Both tiers are "already cached": block rounding and read-ahead
+		// must not re-fetch a spilled range — worse than wasted I/O, the
+		// store bytes would be STALE wherever the spilled extent is a
+		// deferred dirty write.
+		cover = extent.Coalesce(w.spill.Coverage(cover))
 	}
 	var fetch []pfs.Run
 	for _, b := range pfs.Coalesce(blocks) {
@@ -754,9 +1068,16 @@ func (w *fileCache) ReadThrough(runs []pfs.Run, buf []byte) error {
 		w.mu.Unlock()
 		return nil
 	}
-	cur := make([]pfs.Run, len(w.ext))
+	cur := make([]pfs.Run, len(w.ext), len(w.ext)+8)
 	for i, e := range w.ext {
 		cur[i] = pfs.Run{Off: e.off, Len: int64(len(e.data))}
+	}
+	if w.spill != nil {
+		// Re-clip against the spill tier too: a concurrent demote during
+		// phase 2 moved bytes there, and the fetched store copy of that
+		// range is at best redundant (double budget) and stale where the
+		// demoted extent was dirty.
+		cur = extent.Coalesce(w.spill.Coverage(cur))
 	}
 	// Demanded bytes end here; fetched blocks past it are speculative
 	// read-ahead and insert one LRU tick colder, so speculation never
@@ -815,4 +1136,78 @@ func (w *fileCache) readHolesDirect(holes []hole, buf []byte) error {
 		at += h.n
 	}
 	return nil
+}
+
+// promoteLocked moves the spilled extents overlapping [off, off+n)
+// back into the memory tier, LRU-stamped now (a spill hit is a use).
+// Dirty promoted extents re-enter the dirty accounting — they were
+// deferred writes demoted under pressure and are deferred writes
+// again. Returns the promoted bytes that overlap the request (the
+// spill-hit attribution; whole extents move, so more may promote). A
+// clean extent whose spill read-back failed simply does not come back
+// — its range stays a hole and is re-fetched from the pfs with no
+// cache pollution, mirroring readHolesDirect — but a lost DIRTY extent
+// is an error: those bytes exist nowhere else. Must be called with
+// w.mu held.
+func (w *fileCache) promoteLocked(off, n, stamp int64) (int64, error) {
+	proms, err := w.spill.Take(off, n)
+	if err != nil {
+		return 0, err
+	}
+	var overlap int64
+	for _, p := range proms {
+		pn := int64(len(p.Data))
+		w.stats.SpillPromoted += pn
+		lo, hi := p.Off, p.Off+pn
+		if off > lo {
+			lo = off
+		}
+		if off+n < hi {
+			hi = off + n
+		}
+		if hi > lo {
+			overlap += hi - lo
+		}
+		// The tiers are disjoint, so the promoted range is uncovered in
+		// memory: a plain sorted insert keeps the extent-list invariant.
+		i := sort.Search(len(w.ext), func(k int) bool { return w.ext[k].off > p.Off })
+		w.insertAtLocked(i, &cext{off: p.Off, data: p.Data, dirty: p.Dirty, use: stamp})
+		w.total += pn
+		if p.Dirty {
+			w.dirty += pn
+		}
+	}
+	return overlap, nil
+}
+
+// retuneLocked is the adaptive controller: re-derive the effective
+// sieve block and read-ahead from the window of server request sizes
+// (pfs.Stats.ReqSizes, the per-server power-of-two histograms) and
+// request sequentiality observed since the last retune, and install
+// the recommendation as an override of the configured base values.
+// Called with w.mu held, every tuneEvery cache misses while AdaptiveIO
+// is on; a window too small to trust leaves the current values alone
+// (and keeps accumulating). A recommendation equal to what is already
+// in effect is not counted as a retune, so Retunes going quiet is the
+// convergence signal.
+func (w *fileCache) retuneLocked() {
+	w.missTune = 0
+	cur := w.fs.Stats().ReqSizes()
+	out, ok := tune.Recommend(tune.Input{
+		ReqSizes: cur.Sub(w.tunedReq),
+		Seq:      w.seqReads,
+		Rand:     w.randReads,
+		Stripe:   w.fs.StripeSize(),
+		Budget:   w.budget,
+	})
+	if !ok {
+		return
+	}
+	w.tunedReq = cur
+	w.seqReads, w.randReads = 0, 0
+	if out.Sieve == w.sieveSize() && out.ReadAhead == w.readAheadSize() {
+		return
+	}
+	w.adaptSieve, w.adaptRA, w.adaptSet = out.Sieve, out.ReadAhead, true
+	w.stats.Retunes++
 }

@@ -27,7 +27,7 @@ func fcForTest(t *testing.T, budget, sieve, ra int64) (*pfs.FS, *fileCache) {
 	}
 	fs.ResetStats()
 	w := newFileCache(fs)
-	w.Configure(budget, sieve, ra)
+	w.Configure(cacheConfig{budget: budget, sieve: sieve, readAhead: ra})
 	return fs, w
 }
 
@@ -311,7 +311,7 @@ func TestFileCacheConfigureDisableDropsClean(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.Absorb(1024, bytes.Repeat([]byte{3}, 64))
-	w.Configure(0, 0, 0)
+	w.Configure(cacheConfig{})
 	if w.caching() {
 		t.Fatal("still caching after Configure(0)")
 	}

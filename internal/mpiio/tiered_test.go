@@ -1,0 +1,307 @@
+package mpiio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"drxmp/internal/pfs"
+)
+
+// tieredForTest builds a seeded store and a cache with both tiers on:
+// a deliberately small memory budget so reads continuously evict (and
+// therefore demote), and a spill file under the test's temp dir.
+func tieredForTest(t *testing.T, budget, spillBytes int64) (*pfs.FS, *fileCache, string) {
+	t.Helper()
+	fs, err := pfs.Create("tiered", pfs.Options{Servers: 2, StripeSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	seed := make([]byte, 4096)
+	for i := range seed {
+		seed[i] = byte(i%251) + 1
+	}
+	if _, err := fs.WriteAt(seed, 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.ResetStats()
+	path := filepath.Join(t.TempDir(), "spill.dat")
+	w := newFileCache(fs)
+	w.Configure(cacheConfig{budget: budget, sieve: 256, spillBytes: spillBytes, spillPath: path})
+	if err := w.SpillErr(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.closeHook() })
+	return fs, w, path
+}
+
+// readRange reads [off, off+n) through the cache and checks the seeded
+// pattern.
+func readRange(t *testing.T, w *fileCache, off, n int64) {
+	t.Helper()
+	buf := make([]byte, n)
+	if err := w.ReadThrough([]pfs.Run{{Off: off, Len: n}}, buf); err != nil {
+		t.Fatal(err)
+	}
+	wantPattern(t, buf, off)
+}
+
+// TestTieredDemotePromoteRoundTrip: a scan 4x the memory budget
+// demotes its evictions to the spill tier, and the re-read is served
+// back from local disk — correct bytes, zero further store reads.
+func TestTieredDemotePromoteRoundTrip(t *testing.T) {
+	fs, w, _ := tieredForTest(t, 1024, 8192)
+	for off := int64(0); off < 4096; off += 256 {
+		readRange(t, w, off, 256)
+	}
+	cold := fs.Stats().Reads()
+	if cold == 0 {
+		t.Fatal("cold scan issued no store reads")
+	}
+	cs := w.Stats()
+	if cs.SpillDemoted == 0 {
+		t.Fatalf("scan past the budget demoted nothing: %+v", cs)
+	}
+	// Warm wrap-around: everything is in memory or the spill tier.
+	for off := int64(0); off < 4096; off += 256 {
+		readRange(t, w, off, 256)
+	}
+	if got := fs.Stats().Reads(); got != cold {
+		t.Fatalf("warm wrap issued %d extra store reads", got-cold)
+	}
+	cs = w.Stats()
+	if cs.SpillPromoted == 0 || cs.SpillHits == 0 || cs.SpillHitBytes == 0 {
+		t.Fatalf("warm wrap never promoted from the spill tier: %+v", cs)
+	}
+}
+
+// TestTieredPunchInvalidatesSpill: a demoted extent must not survive a
+// punch — after the store's copy is superseded, a read has to fetch
+// the NEW bytes, not promote the stale spilled ones.
+func TestTieredPunchInvalidatesSpill(t *testing.T) {
+	fs, w, _ := tieredForTest(t, 1024, 8192)
+	for off := int64(0); off < 4096; off += 256 {
+		readRange(t, w, off, 256)
+	}
+	if w.Stats().SpillDemoted == 0 {
+		t.Fatal("nothing demoted; the race under test never happens")
+	}
+	// Supersede [0, 512) behind the cache's back, then punch — the
+	// independent-write / PostWrite protocol.
+	if _, err := fs.WriteAt(bytes.Repeat([]byte{0xEE}, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	w.Punch(0, 512)
+	buf := make([]byte, 512)
+	if err := w.ReadThrough([]pfs.Run{{Off: 0, Len: 512}}, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, bytes.Repeat([]byte{0xEE}, 512)) {
+		t.Fatal("read after punch returned stale spilled bytes")
+	}
+}
+
+// TestTieredSpillCorruptionFallsBackToPFS: when the spill file loses
+// its bytes (truncated under the store), a clean promotion degrades
+// silently — the read falls through to the store, returns correct
+// bytes, and caches nothing stale.
+func TestTieredSpillCorruptionFallsBackToPFS(t *testing.T) {
+	fs, w, path := tieredForTest(t, 1024, 8192)
+	for off := int64(0); off < 4096; off += 256 {
+		readRange(t, w, off, 256)
+	}
+	if w.Stats().SpillDemoted == 0 {
+		t.Fatal("nothing demoted")
+	}
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := fs.Stats().Reads()
+	readRange(t, w, 0, 512) // corrupt spill entry: silently refetched
+	if got := fs.Stats().Reads(); got == before {
+		t.Fatal("corrupt spill entry served without a store refetch")
+	}
+	// No pollution: the refetched block is now a sound memory extent.
+	before = fs.Stats().Reads()
+	readRange(t, w, 0, 512)
+	if got := fs.Stats().Reads(); got != before {
+		t.Fatalf("re-read after fallback issued %d extra store reads", got-before)
+	}
+}
+
+// TestTieredDirtySpillLossSurfaces: dirty bytes are a different story —
+// if the spill tier cannot read a demoted DIRTY extent back, the flush
+// must fail loudly instead of silently dropping the write.
+func TestTieredDirtySpillLossSurfaces(t *testing.T) {
+	_, w, path := tieredForTest(t, 1024, 8192)
+	w.Absorb(0, bytes.Repeat([]byte{7}, 2048))
+	if err := w.EnforceBudget(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Stats().SpillDirty == 0 {
+		t.Fatal("dirty bytes were not demoted; the loss under test never happens")
+	}
+	if err := os.Truncate(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FlushAll(); err == nil {
+		t.Fatal("flush silently succeeded after the spill tier lost dirty bytes")
+	}
+}
+
+// TestTieredBudgetAccountingUnderChurn hammers overlapping reads from
+// many goroutines — promotions, demotions and evictions interleave —
+// then checks the books: the extent list sums to the accounted total,
+// nothing is dirty, and no byte is covered by both tiers at once.
+func TestTieredBudgetAccountingUnderChurn(t *testing.T) {
+	_, w, _ := tieredForTest(t, 1024, 8192)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			buf := make([]byte, 256)
+			for i := 0; i < 60; i++ {
+				off := int64(rng.Intn(15)) * 256
+				if err := w.ReadThrough([]pfs.Run{{Off: off, Len: 256}}, buf); err != nil {
+					t.Error(err)
+					return
+				}
+				for j := range buf {
+					if want := byte((off+int64(j))%251) + 1; buf[j] != want {
+						t.Errorf("goroutine %d: byte %d of [%d,+256) = %d, want %d", g, j, off, buf[j], want)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var sum, dirty int64
+	for _, e := range w.ext {
+		sum += int64(len(e.data))
+		if e.dirty {
+			dirty += int64(len(e.data))
+		}
+	}
+	if sum != w.total || dirty != w.dirty {
+		t.Fatalf("accounting drifted: extents sum to %d/%d dirty, books say %d/%d", sum, dirty, w.total, w.dirty)
+	}
+	if w.dirty != 0 || w.spill.Dirty() != 0 {
+		t.Fatalf("read-only churn left dirty bytes: mem %d, spill %d", w.dirty, w.spill.Dirty())
+	}
+	// Tier disjointness: no memory extent overlaps a spilled range.
+	for _, r := range w.spill.Coverage(nil) {
+		for _, e := range w.ext {
+			if e.off < r.Off+r.Len && r.Off < e.end() {
+				t.Fatalf("extent [%d,%d) is in both tiers (spill run [%d,+%d))", e.off, e.end(), r.Off, r.Len)
+			}
+		}
+	}
+}
+
+// TestTieredDifferentialAgainstRAMOnly drives an identical seeded
+// workload of absorbs, reads, flushes and budget sweeps through three
+// caches — spill off, spill on, spill + adaptive — over three
+// identically seeded stores. Every read and both end states must be
+// byte-identical: the tiers and the controller are pure policy, never
+// content. The spill-off cache must also finish with every spill and
+// retune counter at zero and its gauges at the configured statics —
+// with the new knobs off, the accounting is exactly the old stack's.
+func TestTieredDifferentialAgainstRAMOnly(t *testing.T) {
+	const fileN = 4096
+	mk := func(name string, spillBytes int64, adaptive bool) (*pfs.FS, *fileCache) {
+		fs, err := pfs.Create(name, pfs.Options{Servers: 2, StripeSize: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fs.Close() })
+		seed := make([]byte, fileN)
+		for i := range seed {
+			seed[i] = byte(i%251) + 1
+		}
+		if _, err := fs.WriteAt(seed, 0); err != nil {
+			t.Fatal(err)
+		}
+		w := newFileCache(fs)
+		w.Configure(cacheConfig{budget: 1024, sieve: 256, spillBytes: spillBytes,
+			spillPath: filepath.Join(t.TempDir(), name+".dat"), adaptive: adaptive})
+		if err := w.SpillErr(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { w.closeHook() })
+		return fs, w
+	}
+	fsA, base := mk("diff-ram", 0, false)
+	fsB, sp := mk("diff-spill", 8192, false)
+	fsC, ad := mk("diff-adaptive", 8192, true)
+	caches := []*fileCache{base, sp, ad}
+
+	rng := rand.New(rand.NewSource(23))
+	for step := 0; step < 300; step++ {
+		off := int64(rng.Intn(fileN/64-4)) * 64
+		n := int64(1+rng.Intn(4)) * 64
+		switch op := rng.Intn(10); {
+		case op < 4:
+			p := bytes.Repeat([]byte{byte(step) | 1}, int(n))
+			for _, w := range caches {
+				w.Absorb(off, p)
+				if err := w.EnforceBudget(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case op < 8:
+			var got [][]byte
+			for _, w := range caches {
+				buf := make([]byte, n)
+				if err := w.ReadThrough([]pfs.Run{{Off: off, Len: n}}, buf); err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, buf)
+			}
+			if !bytes.Equal(got[0], got[1]) || !bytes.Equal(got[0], got[2]) {
+				t.Fatalf("step %d: read [%d,+%d) diverged across tier configs", step, off, n)
+			}
+		default:
+			for _, w := range caches {
+				if err := w.FlushIntersecting([]pfs.Run{{Off: off, Len: n}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, w := range caches {
+		if err := w.FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := make([]byte, fileN)
+	if _, err := fsA.ReadAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, fs := range []*pfs.FS{fsB, fsC} {
+		got := make([]byte, fileN)
+		if _, err := fs.ReadAt(got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("store %d end state differs from the spill-off baseline", i+1)
+		}
+	}
+	cs := base.Stats()
+	if cs.SpillDemoted != 0 || cs.SpillPromoted != 0 || cs.SpillHits != 0 ||
+		cs.SpillHitBytes != 0 || cs.SpillRejected != 0 || cs.SpillUsed != 0 ||
+		cs.SpillDirty != 0 || cs.Retunes != 0 {
+		t.Fatalf("spill-off cache shows tier/controller activity: %+v", cs)
+	}
+	if cs.SieveSize != 256 || cs.ReadAheadBytes != 0 {
+		t.Fatalf("spill-off gauges moved off the configured statics: sieve=%d ra=%d", cs.SieveSize, cs.ReadAheadBytes)
+	}
+}

@@ -1,0 +1,90 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistQuantile(t *testing.T) {
+	var h Hist
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %d, want 0", q)
+	}
+	// 100 observations of 1000 (bucket ub 1024): every quantile is the
+	// bucket's upper bound.
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if q := h.Quantile(p); q != 1024 {
+			t.Fatalf("Quantile(%v) = %d, want 1024", p, q)
+		}
+	}
+}
+
+func TestHistQuantileMixed(t *testing.T) {
+	var h Hist
+	// 90 small (<=64) + 10 large (<=65536): p90 lands on the last small
+	// bucket, p95+ on the large one.
+	for i := 0; i < 90; i++ {
+		h.Observe(60)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(60000)
+	}
+	if q := h.Quantile(0.9); q != 64 {
+		t.Fatalf("p90 = %d, want 64", q)
+	}
+	if q := h.Quantile(0.95); q != 65536 {
+		t.Fatalf("p95 = %d, want 65536", q)
+	}
+	if q := h.Quantile(1); q != 65536 {
+		t.Fatalf("p100 = %d, want 65536", q)
+	}
+}
+
+func TestHistQuantileEdges(t *testing.T) {
+	var h Hist
+	h.Observe(0) // non-positive -> bucket 0
+	h.Observe(1)
+	if q := h.Quantile(0.5); q != 1 {
+		t.Fatalf("bucket-0 quantile = %d, want 1", q)
+	}
+	// Clamping: out-of-range p behaves as 0 / 1.
+	if q := h.Quantile(-3); q != 1 {
+		t.Fatalf("clamped low quantile = %d, want 1", q)
+	}
+	if q := h.Quantile(7); q != 1 {
+		t.Fatalf("clamped high quantile = %d, want 1", q)
+	}
+	// The overflow bucket absorbs everything huge.
+	var big Hist
+	big.Observe(math.MaxInt64)
+	if q := big.Quantile(0.5); q != 1<<uint(HistBuckets-1) {
+		t.Fatalf("overflow quantile = %d, want %d", q, int64(1)<<uint(HistBuckets-1))
+	}
+}
+
+func TestHistMean(t *testing.T) {
+	var h Hist
+	if m := h.Mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+	h.Observe(1)
+	if m := h.Mean(); m != 1 {
+		t.Fatalf("mean of {1} = %v, want 1", m)
+	}
+	// 1000 lands in bucket (512, 1024], midpoint 768.
+	var k Hist
+	k.Observe(1000)
+	if m := k.Mean(); m != 768 {
+		t.Fatalf("mean of {1000} = %v, want 768", m)
+	}
+	// Mixing buckets averages the midpoints, weighted by count.
+	k.Observe(1000)
+	k.Observe(3) // bucket (2, 4], midpoint 3
+	want := (768*2 + 3.0) / 3
+	if m := k.Mean(); math.Abs(m-want) > 1e-9 {
+		t.Fatalf("mixed mean = %v, want %v", m, want)
+	}
+}

@@ -35,6 +35,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -399,6 +400,15 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 			unavailable(w, err)
 			return
 		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Our own ctx is live, so the cancellation is someone
+			// else's: the single-flight leader whose ctx drove the
+			// shared fill left before the coalescer settled, poisoning
+			// the waiters with its abandonment. The data is fine and a
+			// retry will refetch it — transient, not a server fault.
+			unavailable(w, err)
+			return
+		}
 		httpError(w, http.StatusInternalServerError, "read %v: %v", box, err)
 		return
 	}
@@ -432,7 +442,25 @@ func (s *Server) handleRead(w http.ResponseWriter, r *http.Request) {
 	if waited {
 		w.Header().Set("X-Drx-Queued", "1")
 	}
+	setCacheHeader(w, a)
 	w.Write(out)
+}
+
+// setCacheHeader stamps the X-Drx-Cache debug header: "off" when the
+// array runs uncached, otherwise a snapshot of the tiered-cache
+// counters and effective (possibly adaptively retuned) knobs. The
+// counters are cumulative across the array, not attributed to this
+// request — two requests racing see each other's hits — which is why
+// this is a debug header and the per-array stats JSON is the real API.
+func setCacheHeader(w http.ResponseWriter, a *array) {
+	if a.f.CacheBytes() <= 0 {
+		w.Header().Set("X-Drx-Cache", "off")
+		return
+	}
+	cs := a.f.CacheStats()
+	w.Header().Set("X-Drx-Cache", fmt.Sprintf(
+		"hits=%d misses=%d spill_hits=%d spill_used=%d sieve=%d ra=%d",
+		cs.Hits, cs.Misses, cs.SpillHits, cs.SpillUsed, cs.SieveSize, cs.ReadAheadBytes))
 }
 
 func (s *Server) handleWrite(w http.ResponseWriter, r *http.Request) {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -527,6 +528,40 @@ func TestServeAdmissionQueueHTTP(t *testing.T) {
 		// legal) — accept either, require the counters consistent.
 		if st.Waits < 0 || st.Queued != 0 || st.InFlight != 0 {
 			t.Fatalf("inconsistent admission stats %+v", st)
+		}
+	})
+}
+
+func TestServeCacheHeaderAndStats(t *testing.T) {
+	// Uncached array: the debug header says so.
+	withServer(t, Config{}, drxmp.Tuning{}, func(f *drxmp.File, s *Server, url string) {
+		resp, _ := get(t, url+"/v1/arrays/unit/section?lo=0,0&hi=8,8")
+		if got := resp.Header.Get("X-Drx-Cache"); got != "off" {
+			t.Fatalf("X-Drx-Cache = %q, want off", got)
+		}
+	})
+	// Tiered cache on: the header snapshots the counters and effective
+	// knobs, and the per-array stats JSON carries the spill fields.
+	tuning := drxmp.Tuning{CacheBytes: 1 << 20, SpillBytes: 1 << 20}
+	withServer(t, Config{}, tuning, func(f *drxmp.File, s *Server, url string) {
+		get(t, url+"/v1/arrays/unit/section?lo=0,0&hi=8,8")
+		resp, _ := get(t, url+"/v1/arrays/unit/section?lo=0,0&hi=8,8")
+		h := resp.Header.Get("X-Drx-Cache")
+		for _, want := range []string{"hits=", "misses=", "spill_hits=", "spill_used=", "sieve=", "ra="} {
+			if !strings.Contains(h, want) {
+				t.Fatalf("X-Drx-Cache = %q, missing %q", h, want)
+			}
+		}
+		resp, body := get(t, url+"/v1/arrays/unit/stats")
+		if resp.StatusCode != 200 {
+			t.Fatalf("array stats status %d: %s", resp.StatusCode, body)
+		}
+		var st ArrayStats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Cache.Hits == 0 {
+			t.Fatalf("stats JSON shows no cache hits after a repeat read: %+v", st.Cache)
 		}
 	})
 }

@@ -1,0 +1,86 @@
+package tune
+
+import (
+	"testing"
+
+	"drxmp/internal/pfs"
+)
+
+func window(sizes ...int64) pfs.Hist {
+	var h pfs.Hist
+	for _, s := range sizes {
+		h.Observe(s)
+	}
+	return h
+}
+
+func many(size int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = size
+	}
+	return out
+}
+
+func TestRecommendWithholdsOnSmallWindow(t *testing.T) {
+	if _, ok := Recommend(Input{ReqSizes: window(many(1024, MinSamples-1)...), Stripe: 512}); ok {
+		t.Fatal("recommendation from a sub-minimum window")
+	}
+	if _, ok := Recommend(Input{ReqSizes: window(many(1024, MinSamples)...), Stripe: 0}); ok {
+		t.Fatal("recommendation without a stripe size")
+	}
+}
+
+func TestRecommendSieveFromP90(t *testing.T) {
+	// p90 of an all-3000-byte window is the 4096 bucket bound; with a
+	// 512 stripe the sieve rounds to 4096 exactly.
+	out, ok := Recommend(Input{ReqSizes: window(many(3000, 100)...), Stripe: 512, Budget: 1 << 20})
+	if !ok {
+		t.Fatal("recommendation withheld")
+	}
+	if out.Sieve != 4096 {
+		t.Fatalf("sieve = %d, want 4096", out.Sieve)
+	}
+	if out.ReadAhead != 0 {
+		t.Fatalf("read-ahead = %d with no sequentiality window, want 0", out.ReadAhead)
+	}
+}
+
+func TestRecommendClamps(t *testing.T) {
+	// Tiny requests floor at one stripe.
+	out, _ := Recommend(Input{ReqSizes: window(many(10, 100)...), Stripe: 512, Budget: 1 << 20})
+	if out.Sieve != 512 {
+		t.Fatalf("small-request sieve = %d, want the 512 stripe floor", out.Sieve)
+	}
+	// Huge requests cap at MaxSieveStripes stripes...
+	out, _ = Recommend(Input{ReqSizes: window(many(1<<24, 100)...), Stripe: 512, Budget: 1 << 30})
+	if out.Sieve != MaxSieveStripes*512 {
+		t.Fatalf("huge-request sieve = %d, want %d", out.Sieve, MaxSieveStripes*512)
+	}
+	// ...and at a quarter of the cache budget when that is tighter.
+	out, _ = Recommend(Input{ReqSizes: window(many(1<<24, 100)...), Stripe: 512, Budget: 8192})
+	if out.Sieve != 2048 {
+		t.Fatalf("budget-capped sieve = %d, want 2048", out.Sieve)
+	}
+}
+
+func TestRecommendReadAheadScalesWithSequentiality(t *testing.T) {
+	reqs := window(many(3000, 100)...)
+	in := Input{ReqSizes: reqs, Stripe: 512, Budget: 1 << 20}
+
+	in.Seq, in.Rand = 100, 0 // pure scan: 4 blocks deep
+	out, _ := Recommend(in)
+	if out.ReadAhead != 4*out.Sieve {
+		t.Fatalf("sequential read-ahead = %d, want %d", out.ReadAhead, 4*out.Sieve)
+	}
+	in.Seq, in.Rand = 50, 50 // half-sequential: 2 blocks
+	out, _ = Recommend(in)
+	if out.ReadAhead != 2*out.Sieve {
+		t.Fatalf("mixed read-ahead = %d, want %d", out.ReadAhead, 2*out.Sieve)
+	}
+	in.Seq, in.Rand = 0, 100 // random: none
+	out, _ = Recommend(in)
+	if out.ReadAhead != 0 {
+		t.Fatalf("random read-ahead = %d, want 0", out.ReadAhead)
+	}
+}
