@@ -1,7 +1,7 @@
 # Mirrors .github/workflows/ci.yml so local runs and CI stay in sync.
 GO ?= go
 
-.PHONY: all build vet fmt test race race-collective race-serve race-fault race-client race-spill bench bench-collective ci
+.PHONY: all build vet fmt test race race-collective race-serve race-fault race-client race-spill race-place bench bench-collective ci
 
 all: build
 
@@ -65,6 +65,17 @@ race-spill:
 	$(GO) test -race -count=1 ./internal/spill
 	$(GO) test -race -run 'Spill|Tiered|Adaptive' . ./internal/mpiio ./internal/exp ./internal/serve
 
+# Placement suites under the race detector: the policy carving is
+# consulted concurrently by every rank of a collective, elected
+# flushers interleave FlushOwned sweeps with other ranks' absorbs on
+# the shared cache, and the root differential suite pins every policy
+# byte-identical to the serial baseline with write-behind + spill on
+# (internal/place property suite, drxmp_place_diff_test.go, the
+# cbnodes policy regression and mpiio flush-election paths).
+race-place:
+	$(GO) test -race -count=1 ./internal/place
+	$(GO) test -race -run 'Place|Affinity|FlushElect' . ./internal/mpiio
+
 bench:
 	$(GO) test -bench=. -benchtime=1x ./...
 
@@ -76,12 +87,14 @@ bench:
 # rows, the E20 read-cache no-cache/cold/warm rows, the ServeBench
 # serving-tier rows: requests/s, coalesce ratio, single-flight hit
 # rate, the E21 degraded-read rows: read p99 + reconstruction
-# counters for healthy/wait-straggler/degraded regimes, and the E22
+# counters for healthy/wait-straggler/degraded regimes, the E22
 # resilient-client rows: read p99 + hedge win rate for plain/retry/
-# hedged clients) that tracks the perf trajectory across PRs.
+# hedged clients, and the E24 placement rows: warm slab-rewrite MB/s +
+# seeks + owned sweeps + domain-local exchange bytes) that tracks the
+# perf trajectory across PRs.
 bench-collective:
 	$(GO) test -bench=Collective -benchtime=1x -run '^$$' .
 	$(GO) run ./cmd/drxbench -benchjson BENCH_collective.json
 	@cat BENCH_collective.json
 
-ci: build vet fmt test race race-collective race-serve race-fault race-client race-spill bench bench-collective
+ci: build vet fmt test race race-collective race-serve race-fault race-client race-spill race-place bench bench-collective

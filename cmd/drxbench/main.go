@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	drxbench -exp all            # everything (figures + E1..E23)
+//	drxbench -exp all            # everything (figures + E1..E24)
 //	drxbench -exp fig1           # one experiment
 //	drxbench -exp e4 -scale full # full-size run
 //	drxbench -exp e7 -csv        # CSV output
@@ -14,9 +14,10 @@
 //	drxbench -exp e23 -adaptive      # tiered cache, adaptive controller everywhere
 //	drxbench -benchjson BENCH_collective.json  # collective perf artifact
 //	                             # (scheduler/cb_nodes + e19 write-behind
-//	                             #  + e20 read-cache + e23 tiered-cache rows)
+//	                             #  + e20 read-cache + e23 tiered-cache
+//	                             #  + e24 placement rows)
 //
-// Experiments: fig1 fig2 fig3 e1..e23 (e11-e15 are design ablations,
+// Experiments: fig1 fig2 fig3 e1..e24 (e11-e15 are design ablations,
 // e16 is the parallel-vs-serial section I/O study, e17 the parallel
 // two-phase collective study, e18 the elevator-scheduler / adaptive
 // cb_nodes ablation, e19 the write-behind collective-buffering
@@ -27,7 +28,10 @@
 // resilient-client ablation: plain vs retrying vs hedged clients
 // against a straggling, flaky serving tier, e23 the tiered-cache
 // ablation: RAM-only vs local-disk spill vs spill plus the adaptive
-// sieve/read-ahead controller on an oversized-working-set re-read).
+// sieve/read-ahead controller on an oversized-working-set re-read,
+// e24 the aggregator-placement ablation: byte-cyclic vs zone-curve vs
+// cache-affinity domains on repeated slab rewrites, plus elected vs
+// uncoordinated watermark flushers).
 //
 // Flags: -exp, -scale, -csv, -list, -par (e16 worker sweep bound),
 // -cpar (e17 worker sweep bound), -cache (e20 cache budget in bytes;
@@ -78,10 +82,11 @@ var experiments = []struct {
 	{"e21", "erasure-coded degraded reads (healthy / wait-straggler / degraded-straggler / degraded-dead)", exp.E21DegradedReads},
 	{"e22", "resilient client vs straggling/flaky serving tier (plain / retry / hedged)", exp.E22RetryHedge},
 	{"e23", "tiered extent cache (RAM-only / local-disk spill / spill + adaptive sieve & read-ahead)", exp.E23TieredCache},
+	{"e24", "aggregator placement (byte-cyclic / zone-curve / cache-affinity) + elected per-region flushers", exp.E24Placement},
 }
 
 func main() {
-	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e23)")
+	which := flag.String("exp", "all", "experiment to run (all, fig1..fig3, e1..e24)")
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of tables")
 	list := flag.Bool("list", false, "list experiments and exit")

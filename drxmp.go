@@ -36,6 +36,7 @@ import (
 	"drxmp/internal/mpiio"
 	"drxmp/internal/par"
 	"drxmp/internal/pfs"
+	"drxmp/internal/place"
 	"drxmp/internal/zone"
 )
 
@@ -156,7 +157,31 @@ type Tuning struct {
 	// ReadAheadBytes / IO().SieveSize values. Requires CacheBytes > 0.
 	// Every rank must pass the same value.
 	AdaptiveIO bool
+	// Placement selects the collective aggregation-domain placement
+	// policy: "" (the default) keeps the historical byte arithmetic —
+	// byte- and accounting-identical to the pre-policy stack —
+	// PlacementByteCyclic names the same arithmetic as an explicit
+	// policy, PlacementZoneCurve carves domains out of whole chunks
+	// ordered along a zone (Morton) curve, and PlacementCacheAffinity
+	// assigns every chunk a sticky aggregator from a static zone-curve
+	// cut of the chunk grid, so repeated collectives re-elect the same
+	// aggregator per region. Any non-empty policy also elects one
+	// flusher per file region at watermark crossings and Sync (see
+	// NoFlushElection). Every rank must pass the same value.
+	Placement string
+	// NoFlushElection keeps the uncoordinated flush behavior (every
+	// watermark-crossing rank sweeps the whole cache) while a Placement
+	// policy is active — the ablation knob E24 measures. Meaningful
+	// only with Placement set. Every rank must pass the same value.
+	NoFlushElection bool
 }
+
+// Placement policy names accepted by Tuning.Placement.
+const (
+	PlacementByteCyclic    = "byte-cyclic"
+	PlacementZoneCurve     = "zone-curve"
+	PlacementCacheAffinity = "cache-affinity"
+)
 
 // validate rejects knob values with no defined meaning. Negative
 // Parallelism/CollectiveParallelism (serial), CBNodes (one aggregator
@@ -180,6 +205,14 @@ func (t Tuning) validate() error {
 	}
 	if t.AdaptiveIO && t.CacheBytes == 0 {
 		return fmt.Errorf("%w: AdaptiveIO without CacheBytes (the controller tunes the cache)", ErrBadOptions)
+	}
+	switch t.Placement {
+	case "", PlacementByteCyclic, PlacementZoneCurve, PlacementCacheAffinity:
+	default:
+		return fmt.Errorf("%w: unknown Placement %q", ErrBadOptions, t.Placement)
+	}
+	if t.NoFlushElection && t.Placement == "" {
+		return fmt.Errorf("%w: NoFlushElection without Placement (election rides on a policy)", ErrBadOptions)
 	}
 	return nil
 }
@@ -528,6 +561,10 @@ func (f *File) IO() *mpiio.File { return f.io }
 // those). OpenWith/Create round-trip: the Tuning passed in is the
 // Tuning read back.
 func (f *File) Tuning() Tuning {
+	var placement string
+	if f.io.Placement != nil {
+		placement = f.io.Placement.Name()
+	}
 	return Tuning{
 		Parallelism:           f.par,
 		CollectiveParallelism: f.io.Parallelism,
@@ -538,12 +575,46 @@ func (f *File) Tuning() Tuning {
 		SpillBytes:            f.io.SpillBytes,
 		SpillPath:             f.io.SpillPath,
 		AdaptiveIO:            f.io.AdaptiveIO,
+		Placement:             placement,
+		NoFlushElection:       placement != "" && !f.io.ElectFlush,
 	}
 }
+
+// placementPolicy resolves a Tuning.Placement name to its policy
+// object (nil for the empty name; validate has rejected anything
+// else).
+func placementPolicy(name string) place.Policy {
+	switch name {
+	case PlacementByteCyclic:
+		return place.ByteCyclic{}
+	case PlacementZoneCurve:
+		return place.ZoneCurve{}
+	case PlacementCacheAffinity:
+		return place.CacheAffinity{}
+	}
+	return nil
+}
+
+// chunkGeom adapts the replicated array metadata to place.Geometry:
+// chunk q occupies file bytes [q*ChunkBytes, (q+1)*ChunkBytes) and its
+// grid coordinates come from the extendible array's F*⁻¹. Read-only
+// over the shared Meta — safe concurrently by the same contract as
+// every other metadata read (no concurrent Extend).
+type chunkGeom struct{ m *meta.Meta }
+
+func (g chunkGeom) ChunkBytes() int64             { return g.m.ChunkBytes() }
+func (g chunkGeom) Chunks() int64                 { return g.m.Space.Total() }
+func (g chunkGeom) Bounds() []int                 { return g.m.Space.Bounds() }
+func (g chunkGeom) Coords(q int64) ([]int, error) { return g.m.Space.Inverse(q, nil) }
 
 // knobs projects t onto the mpiio handle's parameter block, keeping
 // the handle's SieveSize (an IO()-level knob Tuning does not carry).
 func (f *File) knobs(t Tuning) mpiio.TuningKnobs {
+	policy := placementPolicy(t.Placement)
+	var geom place.Geometry
+	if policy != nil {
+		geom = chunkGeom{m: f.m}
+	}
 	return mpiio.TuningKnobs{
 		Parallelism: t.CollectiveParallelism,
 		CBNodes:     t.CBNodes,
@@ -554,6 +625,9 @@ func (f *File) knobs(t Tuning) mpiio.TuningKnobs {
 		SpillBytes:  t.SpillBytes,
 		SpillPath:   t.SpillPath,
 		AdaptiveIO:  t.AdaptiveIO,
+		Placement:   policy,
+		PlaceGeom:   geom,
+		ElectFlush:  policy != nil && !t.NoFlushElection,
 	}
 }
 

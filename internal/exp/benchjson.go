@@ -40,6 +40,13 @@ type CollectiveBenchResult struct {
 	WarmReads     int64 `json:"warm_reads,omitempty"`
 	SpillPromoted int64 `json:"spill_promoted,omitempty"`
 	Retunes       int64 `json:"retunes,omitempty"`
+
+	// Placement rows only (PlacementBench): elected per-region flush
+	// sweeps and how much of the aggregation exchange stayed on the
+	// writing rank under the active placement policy.
+	OwnedSweeps      int64 `json:"owned_sweeps,omitempty"`
+	DomainLocalBytes int64 `json:"domain_local_bytes,omitempty"`
+	DomainRemoteB    int64 `json:"domain_remote_bytes,omitempty"`
 }
 
 // CollectiveBench runs one write_all+read_all round of the E18
@@ -164,11 +171,53 @@ func TieredCacheBench(sc Scale) ([]CollectiveBenchResult, error) {
 	return out, nil
 }
 
+// PlacementBench runs the E24 repeated-slab-rewrite epoch per
+// placement policy plus the flush-election cell and returns the
+// warm-pass throughput rows for the artifact: "e24/byte-cyclic" (the
+// PR 2 carving, scattered-stripe sweeps), "e24/zone-curve" and
+// "e24/cache-affinity" (chunk-aware contiguous regions), and
+// "e24/unelected" (cache-affinity with uncoordinated watermark
+// flushing on the banded epoch). ReadMS is zero — the epochs are
+// write-only; WriteMS is the mean warm epoch including its Sync.
+func PlacementBench(sc Scale) ([]CollectiveBenchResult, error) {
+	n := sc.pick(512, 1024)
+	const ranks = 4
+	const servers = 6
+	stripe := int64(2 << 10)
+	bytesMoved := float64(n) * 32 * 8
+	var out []CollectiveBenchResult
+	for _, c := range []struct {
+		cfg   e24Config
+		bands int
+	}{
+		{e24Config{"byte-cyclic", "byte-cyclic", false}, 1},
+		{e24Config{"zone-curve", "zone-curve", false}, 1},
+		{e24Config{"cache-affinity", "cache-affinity", false}, 1},
+		{e24Config{"unelected", "cache-affinity", true}, 8},
+	} {
+		res, err := e24Run(n, ranks, servers, c.bands, stripe, c.cfg, 3)
+		if err != nil {
+			return nil, fmt.Errorf("e24/%s: %w", c.cfg.name, err)
+		}
+		warmWall, warmSeeks := e24Warm(res)
+		out = append(out, CollectiveBenchResult{
+			Config:           "e24/" + c.cfg.name,
+			WriteMS:          float64(warmWall) / float64(time.Millisecond),
+			MBps:             bytesMoved / (1 << 20) * float64(time.Second) / float64(warmWall),
+			Seeks:            warmSeeks,
+			OwnedSweeps:      res.Cache.OwnedFlushes,
+			DomainLocalBytes: res.LocalBytes,
+			DomainRemoteB:    res.RemoteBytes,
+		})
+	}
+	return out, nil
+}
+
 // WriteCollectiveBenchJSON runs CollectiveBench, WriteBehindBench,
-// ReadCacheBench, ServeBench, DegradedBench, ResilientBench and
-// TieredCacheBench and
-// writes the combined rows to path as indented JSON — the
-// BENCH_collective.json artifact CI uploads per PR.
+// ReadCacheBench, ServeBench, DegradedBench, ResilientBench,
+// TieredCacheBench and PlacementBench and writes the combined rows to
+// path as indented JSON — the BENCH_collective.json artifact CI
+// uploads per PR.
 func WriteCollectiveBenchJSON(path string, sc Scale) error {
 	rows, err := CollectiveBench(sc)
 	if err != nil {
@@ -204,6 +253,11 @@ func WriteCollectiveBenchJSON(path string, sc Scale) error {
 		return err
 	}
 	rows = append(rows, tcRows...)
+	plRows, err := PlacementBench(sc)
+	if err != nil {
+		return err
+	}
+	rows = append(rows, plRows...)
 	blob, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err

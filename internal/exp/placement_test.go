@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"drxmp"
+	"testing"
+	"time"
+)
+
+// TestE24AffinityBeatsByteCyclicWarmRewrite pins the placement
+// acceptance bar at Quick scale: on the repeated-slab-rewrite epoch
+// over 6 servers (not divisible by the 4 aggregators), cache-affinity
+// placement sweeps each rank's own contiguous region — at least 1.5x
+// the warm throughput of byte-cyclic's scattered-stripe sweeps, fewer
+// warm seeks, and a fully domain-local exchange.
+func TestE24AffinityBeatsByteCyclicWarmRewrite(t *testing.T) {
+	const n, ranks, servers = 512, 4, 6
+	stripe := int64(2 << 10)
+	bc, err := e24Run(n, ranks, servers, 1, stripe,
+		e24Config{name: "byte-cyclic", placement: drxmp.PlacementByteCyclic}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := e24Run(n, ranks, servers, 1, stripe,
+		e24Config{name: "cache-affinity", placement: drxmp.PlacementCacheAffinity}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcWall, bcSeeks := e24Warm(bc)
+	caWall, caSeeks := e24Warm(ca)
+	if float64(bcWall) < 1.5*float64(caWall) {
+		t.Fatalf("cache-affinity warm = %v vs byte-cyclic warm = %v; want >= 1.5x throughput",
+			caWall.Round(time.Microsecond), bcWall.Round(time.Microsecond))
+	}
+	if caSeeks >= bcSeeks {
+		t.Fatalf("cache-affinity warm seeks = %d, byte-cyclic = %d; want fewer", caSeeks, bcSeeks)
+	}
+	if ca.RemoteBytes != 0 || ca.LocalBytes == 0 {
+		t.Fatalf("cache-affinity exchange not domain-local: local=%d remote=%d",
+			ca.LocalBytes, ca.RemoteBytes)
+	}
+	if bc.RemoteBytes == 0 {
+		t.Fatalf("byte-cyclic exchange recorded no remote bytes; the scatter is gone")
+	}
+}
+
+// TestE24ElectedFlusherCutsSeeks pins the flush-election acceptance
+// bar: on the banded multi-rank flush epoch, the elected per-region
+// flusher charges strictly fewer total warm seeks than uncoordinated
+// whole-set watermark flushing, and actually runs owned sweeps.
+func TestE24ElectedFlusherCutsSeeks(t *testing.T) {
+	const n, ranks, servers = 512, 4, 6
+	stripe := int64(2 << 10)
+	el, err := e24Run(n, ranks, servers, 8, stripe,
+		e24Config{name: "elected", placement: drxmp.PlacementCacheAffinity}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := e24Run(n, ranks, servers, 8, stripe,
+		e24Config{name: "uncoordinated", placement: drxmp.PlacementCacheAffinity, noElection: true}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, elSeeks := e24Warm(el)
+	_, unSeeks := e24Warm(un)
+	if elSeeks >= unSeeks {
+		t.Fatalf("elected warm seeks = %d, uncoordinated = %d; want strictly fewer", elSeeks, unSeeks)
+	}
+	if el.Cache.OwnedFlushes == 0 {
+		t.Fatalf("elected run recorded no owned sweeps: %+v", el.Cache)
+	}
+	if un.Cache.OwnedFlushes != 0 {
+		t.Fatalf("uncoordinated run recorded %d owned sweeps", un.Cache.OwnedFlushes)
+	}
+}

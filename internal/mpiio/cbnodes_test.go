@@ -7,6 +7,7 @@ import (
 
 	"drxmp/internal/cluster"
 	"drxmp/internal/pfs"
+	"drxmp/internal/place"
 )
 
 // TestCBNodesResolution pins the aggregator-count rule: adaptive
@@ -42,6 +43,71 @@ func TestCBNodesResolution(t *testing.T) {
 				return fmt.Errorf("cbNodes(%d) with CBNodes=%d = %d, want %d",
 					tc.totalBytes, tc.cbNodes, got, tc.want)
 			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rowGeom is a minimal place.Geometry over a 1-D chunk grid.
+type rowGeom struct {
+	cb     int64
+	chunks int
+}
+
+func (g rowGeom) ChunkBytes() int64 { return g.cb }
+func (g rowGeom) Chunks() int64     { return int64(g.chunks) }
+func (g rowGeom) Bounds() []int     { return []int{g.chunks} }
+func (g rowGeom) Coords(q int64) ([]int, error) {
+	return []int{int(q)}, nil
+}
+
+// TestCBNodesPlacementPolicyDomainCount pins the placement/adaptive-clamp
+// interaction: with a policy active, the aggregator count comes from
+// the policy's own domain structure (chunk groups), NOT from the
+// historical clamp(totalBytes/stripe, 1, nranks). A tiny payload
+// spread over many chunks used to collapse to one aggregator; a
+// chunk-aware policy must keep one domain per rank as long as there
+// are chunks to go around.
+func TestCBNodesPlacementPolicyDomainCount(t *testing.T) {
+	err := cluster.Run(4, func(c *cluster.Comm) error {
+		// Stripe far above the payload, so the byte-arithmetic clamp
+		// would resolve to a single aggregator.
+		fs, err := pfs.Create("cbp", pfs.Options{Servers: 2, StripeSize: 1 << 20})
+		if err != nil {
+			return err
+		}
+		defer fs.Close()
+		f := Open(c, fs)
+		geom := rowGeom{cb: 128, chunks: 8}
+
+		// One byte touched per chunk: 8 bytes total over 8 chunks.
+		var runs []pfs.Run
+		for q := int64(0); q < 8; q++ {
+			runs = append(runs, pfs.Run{Off: q * 128, Len: 1})
+		}
+		runsByRank := [][]pfs.Run{runs, nil, nil, nil}
+		lo, hi, total := int64(0), int64(7*128+1), int64(8)
+
+		if got := f.cbNodes(total); got != 1 {
+			return fmt.Errorf("byte clamp sanity: cbNodes(%d) = %d, want 1", total, got)
+		}
+		if got := f.carve(lo, hi, total, runsByRank).N(); got != 1 {
+			return fmt.Errorf("no policy: carve N = %d, want the byte clamp's 1", got)
+		}
+		for _, p := range []place.Policy{place.ZoneCurve{}, place.CacheAffinity{}} {
+			f.Placement, f.PlaceGeom = p, geom
+			if got := f.carve(lo, hi, total, runsByRank).N(); got != c.Size() {
+				return fmt.Errorf("%s: carve N = %d, want the policy's domain count %d",
+					p.Name(), got, c.Size())
+			}
+		}
+		// An explicit CBNodes cap still wins over the policy count.
+		f.CBNodes = 2
+		if got := f.carve(lo, hi, total, runsByRank).N(); got != 2 {
+			return fmt.Errorf("CBNodes=2 with policy: carve N = %d, want 2", got)
 		}
 		return nil
 	})

@@ -8,6 +8,7 @@ import (
 
 	"drxmp/internal/par"
 	"drxmp/internal/pfs"
+	"drxmp/internal/place"
 )
 
 // Two-phase collective I/O (the ROMIO technique referenced through the
@@ -81,11 +82,11 @@ type placed struct {
 
 // placePieces cuts a rank's runs at domain boundaries and assigns each
 // piece its packed-buffer position (runs pack back-to-back in order).
-func placePieces(dom domains, runs []pfs.Run) []placed {
+func placePieces(dom place.Domains, runs []pfs.Run) []placed {
 	var out []placed
 	var cursor int64
 	for _, run := range runs {
-		for _, p := range dom.split(run) {
+		for _, p := range splitRun(dom, run) {
 			out = append(out, placed{owner: p.owner, fileOff: p.run.Off, bufOff: cursor, n: p.run.Len})
 			cursor += p.run.Len
 		}
@@ -149,10 +150,13 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 		return nil
 	}
 
-	// Aggregator selection: every rank computes the same count from the
-	// allgathered run lists (and the shared CBNodes setting), so the
-	// domain carving agrees everywhere without another round.
-	dom := f.domains(lo, hi, f.cbNodes(totalBytes))
+	// Aggregator selection and domain carving: every rank computes the
+	// same carving from the allgathered run lists (and the shared
+	// placement policy + CBNodes setting), so the placement agrees
+	// everywhere without another round. With a policy active the
+	// aggregator count is the policy's domain count, not the raw
+	// byte-arithmetic clamp.
+	dom := f.carve(lo, hi, totalBytes, runsByRank)
 	size := f.comm.Size()
 	me := f.comm.Rank()
 	workers := f.workers()
@@ -165,6 +169,7 @@ func (f *File) collective(buf []byte, viewOff int64, write bool) error {
 		return nil
 	})
 	myPlaced := placedBy[me]
+	f.attrLocality(placedBy)
 
 	// Unified-cache coherence. The global union of the collective is
 	// the exact byte set about to move: a write punches it out of the
@@ -329,6 +334,48 @@ func (f *File) agree(opErr error) error {
 	return opErr
 }
 
+// carve produces the aggregation-domain partition of one collective.
+// With a placement policy set, the policy carves (and resolves the
+// aggregator count from its own domain structure — chunk-aware
+// policies count chunk groups, not payload stripes); otherwise the
+// historical byte arithmetic runs unchanged, bit-identically to the
+// pre-policy stack.
+func (f *File) carve(lo, hi, totalBytes int64, runsByRank [][]pfs.Run) place.Domains {
+	if f.Placement != nil {
+		return f.Placement.Carve(place.Req{
+			Lo:          lo,
+			Hi:          hi,
+			TotalBytes:  totalBytes,
+			Ranks:       f.comm.Size(),
+			CBNodes:     f.CBNodes,
+			Stripe:      f.fs.StripeSize(),
+			WriteBehind: f.WriteBehind != 0,
+			Geom:        f.PlaceGeom,
+			Runs:        runsByRank,
+		})
+	}
+	return f.domains(lo, hi, f.cbNodes(totalBytes))
+}
+
+// attrLocality charges the pfs domain-locality counters for the pieces
+// this rank aggregates: a piece is domain-local when the rank that
+// requested it IS the aggregator serving it (no exchange hop).
+// Accounting only — no service time — and only when a placement policy
+// is active, so Placement unset stays accounting-identical.
+func (f *File) attrLocality(placedBy [][]placed) {
+	if f.Placement == nil {
+		return
+	}
+	me := f.comm.Rank()
+	for r, pl := range placedBy {
+		for _, p := range pl {
+			if p.owner == me {
+				f.fs.AttrLocality(p.fileOff, p.n, r == me)
+			}
+		}
+	}
+}
+
 // cbNodes resolves the aggregator count for a collective moving
 // totalBytes: the explicit CBNodes override when set, otherwise
 // clamp(totalBytes/stripeSize, 1, nranks) — one aggregator per stripe
@@ -391,37 +438,52 @@ func (f *File) domains(lo, hi int64, n int) domains {
 	return domains{lo: alo, per: per, n: n}
 }
 
+// N implements place.Domains.
+func (d domains) N() int { return d.n }
+
+// Owner implements place.Domains: the aggregator rank owning the byte
+// at off.
+func (d domains) Owner(off int64) int {
+	if d.cyclic {
+		return int((off / d.per) % int64(d.n))
+	}
+	o := int((off - d.lo) / d.per)
+	if o >= d.n {
+		o = d.n - 1
+	}
+	return o
+}
+
+// BlockEnd implements place.Domains: the first offset past off where
+// ownership may change. The span carving's last domain takes the tail,
+// so its end is unbounded (callers clip to their run).
+func (d domains) BlockEnd(off int64) int64 {
+	if d.cyclic {
+		return (off/d.per + 1) * d.per
+	}
+	o := d.Owner(off)
+	if o == d.n-1 {
+		return int64(1)<<62 - 1
+	}
+	return d.lo + int64(o+1)*d.per
+}
+
 // piece is a run fragment assigned to one aggregation domain.
 type piece struct {
 	owner int
 	run   pfs.Run
 }
 
-// split cuts a run at domain boundaries, in offset order. Zero-length
-// runs produce no pieces. Adjacent pieces with the same owner merge
-// (under the cyclic carving with one aggregator, every block has the
-// same owner).
-func (d domains) split(run pfs.Run) []piece {
+// splitRun cuts a run at domain boundaries, in offset order, for ANY
+// carving. Zero-length runs produce no pieces. Adjacent pieces with
+// the same owner merge (under the cyclic carving with one aggregator,
+// every block has the same owner).
+func splitRun(d place.Domains, run pfs.Run) []piece {
 	var out []piece
 	off, remaining := run.Off, run.Len
 	for remaining > 0 {
-		var owner int
-		var end int64
-		if d.cyclic {
-			blk := off / d.per
-			owner = int(blk % int64(d.n))
-			end = (blk + 1) * d.per
-		} else {
-			owner = int((off - d.lo) / d.per)
-			if owner >= d.n {
-				owner = d.n - 1
-			}
-			if owner == d.n-1 {
-				end = off + remaining // last domain takes the tail
-			} else {
-				end = d.lo + int64(owner+1)*d.per
-			}
-		}
+		owner := d.Owner(off)
+		end := d.BlockEnd(off)
 		take := end - off
 		if take > remaining {
 			take = remaining
@@ -438,13 +500,17 @@ func (d domains) split(run pfs.Run) []piece {
 	return out
 }
 
+// split cuts a run at this carving's domain boundaries (kept as a
+// method so the arithmetic carvings stay directly testable).
+func (d domains) split(run pfs.Run) []piece { return splitRun(d, run) }
+
 // coveredSpan returns the minimal contiguous extent of domain `owner`
 // touched by any rank's runs (empty Run with Len 0 if none).
 func (d domains) coveredSpan(owner int, runsByRank [][]pfs.Run) pfs.Run {
 	var a, b int64 = -1, -1
 	for _, rr := range runsByRank {
 		for _, run := range rr {
-			for _, p := range d.split(run) {
+			for _, p := range splitRun(d, run) {
 				if p.owner != owner {
 					continue
 				}
@@ -537,7 +603,7 @@ func (s *staging) slice(off, n int64) []byte {
 // cached stripes (including other ranks' deferred dirty bytes) come
 // from memory and only the holes are sieve-fetched, so a re-read of a
 // warm domain touches no server at all.
-func (f *File) aggregateRead(dom domains, placedBy [][]placed) (*staging, error) {
+func (f *File) aggregateRead(dom place.Domains, placedBy [][]placed) (*staging, error) {
 	runs := domainRuns(f.comm.Rank(), placedBy)
 	if len(runs) == 0 {
 		return nil, nil
@@ -567,7 +633,7 @@ func (f *File) aggregateRead(dom domains, placedBy [][]placed) (*staging, error)
 // gaps between runs are never touched. Overlapping writes resolve in
 // rank order (higher rank wins), a deterministic refinement of MPI's
 // "undefined".
-func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) error {
+func (f *File) aggregateWrite(dom place.Domains, placedBy [][]placed, recv [][]byte) error {
 	me := f.comm.Rank()
 	runs := domainRuns(me, placedBy)
 	if len(runs) == 0 {
@@ -601,6 +667,15 @@ func (f *File) aggregateWrite(dom domains, placedBy [][]placed, recv [][]byte) e
 			return err
 		}
 		if f.WriteBehind > 0 && w.Bytes() >= f.WriteBehind {
+			// Elected flushers: instead of every watermark-crossing rank
+			// racing a global FlushAll (partial, interleaved sweeps over
+			// regions other ranks are still filling), each rank sweeps
+			// only the file regions the placement assigns it — its own
+			// absorbs are complete at this point, so elected sweeps are
+			// full contiguous region slabs.
+			if owned := f.flushOwned(); owned != nil {
+				return w.FlushOwned(owned)
+			}
 			return w.FlushAll()
 		}
 		return nil

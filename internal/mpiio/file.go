@@ -8,6 +8,7 @@ import (
 	"drxmp/internal/cluster"
 	"drxmp/internal/par"
 	"drxmp/internal/pfs"
+	"drxmp/internal/place"
 )
 
 // File is one process's handle on a shared striped file, with a private
@@ -113,6 +114,28 @@ type File struct {
 	// the same value.
 	AdaptiveIO bool
 
+	// Placement selects the aggregation-domain carving policy of the
+	// two-phase collective (internal/place). nil (the default) keeps
+	// the historical byte arithmetic — bit- and accounting-identical to
+	// the pre-policy stack. Every rank of a communicator must use the
+	// same policy (the carving is computed independently on each rank
+	// from replicated state and must agree).
+	Placement place.Policy
+
+	// PlaceGeom supplies the replicated chunk geometry chunk-aware
+	// policies carve with (and flush election maps regions with). nil
+	// makes chunk-aware policies fall back to byte-cyclic carving and
+	// disables flush election.
+	PlaceGeom place.Geometry
+
+	// ElectFlush elects one flusher per file region: watermark
+	// crossings and SyncAll sweep only the regions the placement
+	// assigns this rank, instead of every crossing rank racing a global
+	// FlushAll whose partial sweeps interleave in file space.
+	// Meaningful only with Placement and PlaceGeom set; Sync/Close
+	// still drain everything (the correctness backstop).
+	ElectFlush bool
+
 	// fc memoizes the shared extent cache. Atomic because the parallel
 	// independent-read path resolves it from concurrent run-group
 	// workers (every resolver stores the same per-store instance, so
@@ -200,6 +223,9 @@ type TuningKnobs struct {
 	SpillBytes  int64
 	SpillPath   string
 	AdaptiveIO  bool
+	Placement   place.Policy
+	PlaceGeom   place.Geometry
+	ElectFlush  bool
 }
 
 // ApplyTuning installs every collective/cache knob of the handle in
@@ -231,6 +257,9 @@ func (f *File) ApplyTuning(k TuningKnobs) error {
 	f.SpillBytes = k.SpillBytes
 	f.SpillPath = k.SpillPath
 	f.AdaptiveIO = k.AdaptiveIO
+	f.Placement = k.Placement
+	f.PlaceGeom = k.PlaceGeom
+	f.ElectFlush = k.ElectFlush
 	var w *fileCache
 	if f.SpillBytes > 0 && f.CacheBytes > 0 {
 		w = f.cache() // eager: the spill file opens here
@@ -272,8 +301,51 @@ func (f *File) Sync() error {
 // (which doubles as a barrier), so every rank returns only after all
 // deferred bytes are on the servers and any rank's flush failure
 // surfaces everywhere. Every rank must call it.
+//
+// With flush election active (ElectFlush + a placement policy with
+// geometry), each rank sweeps only the file regions the placement
+// assigns it — the region map covers every byte, so the union of the
+// elected sweeps is the whole dirty set — and the agreement round
+// doubles as the election's completion barrier. Per-rank Sync (and the
+// store-close hook) still drain everything, so election can never
+// strand a dirty byte.
 func (f *File) SyncAll() error {
+	if owned := f.flushOwned(); owned != nil {
+		if w := f.sharedCache(); w != nil {
+			return f.agree(w.FlushOwned(owned))
+		}
+		return f.agree(nil)
+	}
 	return f.agree(f.Sync())
+}
+
+// flushOwned returns this rank's region-ownership predicate for
+// elected flushing, or nil when election is off. The region map is the
+// placement policy's carving of the WHOLE allocated file span (not one
+// collective's span), so it is identical on every rank and stable
+// between extends; offsets past the allocated span clamp to the last
+// region, so the predicates still partition everything a stale sweep
+// might hold.
+func (f *File) flushOwned() func(off int64) bool {
+	if !f.ElectFlush || f.Placement == nil || f.PlaceGeom == nil {
+		return nil
+	}
+	hi := f.PlaceGeom.Chunks() * f.PlaceGeom.ChunkBytes()
+	if hi <= 0 {
+		return nil
+	}
+	dom := f.Placement.Carve(place.Req{
+		Lo:          0,
+		Hi:          hi,
+		TotalBytes:  hi,
+		Ranks:       f.comm.Size(),
+		CBNodes:     f.CBNodes,
+		Stripe:      f.fs.StripeSize(),
+		WriteBehind: f.WriteBehind != 0,
+		Geom:        f.PlaceGeom,
+	})
+	me := f.comm.Rank()
+	return func(off int64) bool { return dom.Owner(off) == me }
 }
 
 // Dirty returns the dirty bytes currently buffered by the file's

@@ -98,6 +98,7 @@ func (e *cext) end() int64 { return e.off + int64(len(e.data)) }
 type CacheStats struct {
 	Absorbed     int64 // dirty bytes absorbed from collective writes
 	Flushes      int64 // flush sweeps issued
+	OwnedFlushes int64 // elected per-region flush sweeps (subset of Flushes)
 	Hits         int64 // ReadThrough calls served entirely from memory
 	Misses       int64 // ReadThrough calls that fetched at least one hole
 	HitBytes     int64 // bytes served from cached extents
@@ -129,6 +130,7 @@ func (s CacheStats) Sub(t CacheStats) CacheStats {
 	return CacheStats{
 		Absorbed:     s.Absorbed - t.Absorbed,
 		Flushes:      s.Flushes - t.Flushes,
+		OwnedFlushes: s.OwnedFlushes - t.OwnedFlushes,
 		Hits:         s.Hits - t.Hits,
 		Misses:       s.Misses - t.Misses,
 		HitBytes:     s.HitBytes - t.HitBytes,
@@ -644,6 +646,60 @@ func (w *fileCache) FlushIntersecting(runs []pfs.Run) error {
 	return nil
 }
 
+// FlushOwned writes back exactly the dirty extents starting in a file
+// region the predicate claims — the elected per-region flush sweep.
+// Region ownership partitions the file, so concurrent elected sweeps
+// from different ranks have disjoint victim sets: each region is swept
+// by exactly one flusher, and a sweep is a full contiguous slab of that
+// rank's absorbed regions instead of an interleaved snapshot of
+// everyone's. An extent that merged across a region boundary belongs to
+// the region its first byte lies in (flushing a tail early is always
+// safe). With clean caching on the victims stay cached, marked clean;
+// in wb-only mode they are removed exactly like FlushIntersecting's.
+func (w *fileCache) FlushOwned(owned func(off int64) bool) error {
+	w.flushMu.Lock()
+	defer w.flushMu.Unlock()
+	w.mu.Lock()
+	victims := make([]*cext, 0, len(w.ext))
+	for _, e := range w.ext {
+		if e.dirty && owned(e.off) {
+			victims = append(victims, e)
+		}
+	}
+	spillDirty := w.spill != nil && w.spill.Dirty() > 0
+	if len(victims) == 0 && !spillDirty {
+		w.mu.Unlock()
+		return nil
+	}
+	w.stats.OwnedFlushes++
+	if w.budget > 0 {
+		return w.flushMarkCleanOwnedLocked(victims, owned) // unlocks w.mu
+	}
+	flush := make([]*cext, 0, len(victims))
+	var keep []*cext
+	vi := 0
+	for _, e := range w.ext {
+		if vi < len(victims) && victims[vi] == e {
+			flush = append(flush, e)
+			w.dirty -= int64(len(e.data))
+			w.total -= int64(len(e.data))
+			vi++
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	w.ext = keep
+	if len(flush) > 0 {
+		w.stats.Flushes++
+	}
+	w.mu.Unlock()
+	if err := w.flushExtents(flush, nil); err != nil {
+		w.restoreDirty(flush)
+		return err
+	}
+	return nil
+}
+
 // restoreDirty reinserts extents that a wb-only flush removed from the
 // cache before its FlushV sweep failed, so the dirty bytes survive for
 // a retry. Each extent's bytes return dirty only where the cache is
@@ -679,12 +735,29 @@ func (w *fileCache) restoreDirty(ext []*cext) {
 // pointer in memory, a new entry id in the spill tier) keeps its
 // replacement's dirtiness — the replacement flushes later.
 func (w *fileCache) flushMarkCleanLocked(victims []*cext) error {
+	return w.flushMarkCleanOwnedLocked(victims, nil)
+}
+
+// flushMarkCleanOwnedLocked is flushMarkCleanLocked with an optional
+// region-ownership filter for the spill tier: with owned non-nil, only
+// the spilled dirty chunks starting in an owned region join the sweep
+// (an elected flusher must not sweep a region another rank owns).
+func (w *fileCache) flushMarkCleanOwnedLocked(victims []*cext, owned func(off int64) bool) error {
 	var chunks []spill.Chunk
 	if w.spill != nil && w.spill.Dirty() > 0 {
 		var err error
 		if chunks, err = w.spill.CollectDirty(); err != nil {
 			w.mu.Unlock()
 			return err
+		}
+		if owned != nil {
+			kept := chunks[:0]
+			for _, c := range chunks {
+				if owned(c.Off) {
+					kept = append(kept, c)
+				}
+			}
+			chunks = kept
 		}
 	}
 	if len(victims) == 0 && len(chunks) == 0 {

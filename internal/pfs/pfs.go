@@ -184,6 +184,14 @@ type ServerStats struct {
 	// from ordinary reads.
 	SieveReads int64
 	SieveBytes int64
+	// LocalBytes / RemoteBytes attribute collective payload held by
+	// this server to aggregation-domain locality: local bytes were
+	// requested by the rank that also aggregates them (no exchange
+	// hop), remote bytes crossed the rank exchange. Charged only when
+	// a placement policy is active (mpiio), so the counters stay zero
+	// — accounting-identical — otherwise.
+	LocalBytes  int64
+	RemoteBytes int64
 	// ReqSize is the per-request transfer-size histogram and SvcTime
 	// the per-request service-latency histogram (microseconds), both in
 	// power-of-two buckets (see Hist).
@@ -235,6 +243,26 @@ func (s Stats) Bytes() int64 {
 	var n int64
 	for _, ps := range s.PerServer {
 		n += ps.BytesRead + ps.BytesWritten
+	}
+	return n
+}
+
+// DomainLocalBytes returns total placement-attributed domain-local
+// bytes across servers (zero unless a placement policy is active).
+func (s Stats) DomainLocalBytes() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.LocalBytes
+	}
+	return n
+}
+
+// DomainRemoteBytes returns total placement-attributed domain-remote
+// bytes across servers (zero unless a placement policy is active).
+func (s Stats) DomainRemoteBytes() int64 {
+	var n int64
+	for _, ps := range s.PerServer {
+		n += ps.RemoteBytes
 	}
 	return n
 }
@@ -347,6 +375,8 @@ func (s Stats) Sub(t Stats) Stats {
 			FlushBytes:   a.FlushBytes - b.FlushBytes,
 			SieveReads:   a.SieveReads - b.SieveReads,
 			SieveBytes:   a.SieveBytes - b.SieveBytes,
+			LocalBytes:   a.LocalBytes - b.LocalBytes,
+			RemoteBytes:  a.RemoteBytes - b.RemoteBytes,
 			ReqSize:      a.ReqSize.Sub(b.ReqSize),
 			SvcTime:      a.SvcTime.Sub(b.SvcTime),
 		}
@@ -857,6 +887,26 @@ func (fs *FS) Stats() Stats {
 		sv.mu.Unlock()
 	}
 	return out
+}
+
+// AttrLocality attributes n bytes at logical offset off to the
+// domain-locality counters of the servers holding them: local reports
+// whether the rank that requested the bytes is also the aggregator
+// serving them (no exchange hop). Pure accounting — no service time,
+// no seek state — called by the collective layer only when a placement
+// policy is active.
+func (fs *FS) AttrLocality(off, n int64, local bool) {
+	fs.forEachSegment(off, n, func(s int, _, _, length int64) error {
+		sv := fs.servers[s]
+		sv.mu.Lock()
+		if local {
+			sv.stats.LocalBytes += length
+		} else {
+			sv.stats.RemoteBytes += length
+		}
+		sv.mu.Unlock()
+		return nil
+	})
 }
 
 // ResetStats zeroes all accounting (including seek state).

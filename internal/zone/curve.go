@@ -1,0 +1,70 @@
+package zone
+
+// Zone-curve ordering: a space-filling curve over the chunk grid, so
+// consumers (aggregation-domain placement, shard routing) can linearize
+// the k-dimensional chunk space while keeping spatially adjacent chunks
+// adjacent in the order. A Morton (Z-order) curve is used: it is
+// computed per chunk in O(k·log n) with no global state, handles
+// non-power-of-two bounds (the key space simply has gaps — only the
+// ORDER matters, not density), and clusters chunks into nested
+// power-of-two tiles, which is exactly the "adjacent connected chunks"
+// property the paper's zones are built from.
+
+// curveBits is the per-dimension bit budget of CurveKey. Keys must fit
+// uint64, so the interleave uses min(curveBits, 64/k) bits per
+// dimension; coordinates wider than that are compared by their HIGH
+// bits (low bits are dropped), which preserves the coarse spatial
+// clustering the consumers need.
+const curveBits = 21
+
+// CurveKey returns the Morton (Z-order) position of chunk coordinates c
+// within chunk-grid bounds b (len(c) == len(b)). Sorting chunks by
+// (CurveKey, linear address) yields the zone-curve order: a
+// deterministic linearization in which spatially close chunks sort
+// close together. b only sizes the bit budget; c outside b still maps
+// (the grid may have grown since the caller snapshotted bounds).
+func CurveKey(c, b []int) uint64 {
+	k := len(c)
+	if k == 0 {
+		return 0
+	}
+	// Bits needed to represent the widest dimension.
+	bits := 1
+	for _, n := range b {
+		for w := 1; w < 64; w++ {
+			if n-1 < (1 << w) {
+				if w > bits {
+					bits = w
+				}
+				break
+			}
+		}
+	}
+	max := 64 / k
+	if max > curveBits {
+		max = curveBits
+	}
+	if max < 1 {
+		max = 1
+	}
+	// Wider coordinates than the budget: keep the high bits (coarse
+	// tiles), drop the low ones.
+	shift := 0
+	if bits > max {
+		shift = bits - max
+		bits = max
+	}
+	var key uint64
+	out := 0
+	for bit := 0; bit < bits; bit++ {
+		for d := 0; d < k; d++ {
+			v := c[d]
+			if v < 0 {
+				v = 0
+			}
+			key |= uint64((v>>(bit+shift))&1) << out
+			out++
+		}
+	}
+	return key
+}
